@@ -1,0 +1,105 @@
+// ABL-H — Heuristic & cost-function ablation (Secs. 3, 4.4).
+//
+// Dissects where RT-SADS's advantage comes from on the headline cell
+// (m=10, R=30%, SF=1):
+//   * the load-balancing cost function CE (Sec. 4.4) vs plain greedy
+//     processor orders;
+//   * the EDF task-selection heuristic vs batch order;
+//   * skipping unplaceable tasks vs the strict expansion rule;
+// and for D-COLS:
+//   * processor skipping vs strict round-robin;
+//   * "limited backtracking" successor caps (Sec. 3's pruning).
+#include <iostream>
+
+#include "bench_util.h"
+#include "exp/table.h"
+#include "sched/algorithm.h"
+#include "sched/presets.h"
+
+int main() {
+  using namespace rtds;
+  using namespace rtds::bench;
+  using search::ProcessorOrder;
+  using search::Representation;
+  using search::SearchConfig;
+  using search::TaskOrder;
+
+  print_header("ABL-H — heuristic and cost-function ablations",
+               "Secs. 3 and 4.4 design choices on the Figure-5 headline cell",
+               "full RT-SADS on top; each removed mechanism costs compliance");
+
+  exp::ExperimentConfig base;
+  base.num_workers = 10;
+  base.replication_rate = 0.3;
+  base.scaling_factor = 1.0;
+  base.num_transactions = 1000;
+  base.repetitions = 10;
+
+  exp::TextTable table(
+      {"variant", "hit%", "±ci", "dead-ends/run", "backtracks/phase"});
+  const auto run_with = [&](const sched::PhaseAlgorithm& algo) {
+    const exp::Aggregate a = exp::run_repeated(base, algo);
+    table.add_row({algo.name(), exp::fmt(a.hit_ratio.mean() * 100, 1),
+                   exp::fmt(confidence_interval(a.hit_ratio) * 100, 1),
+                   exp::fmt(a.dead_ends.mean(), 0),
+                   exp::fmt(a.backtracks_per_phase.mean(), 2)});
+  };
+
+  // --- RT-SADS family -------------------------------------------------------
+  run_with(*sched::make_rt_sads());
+  run_with(*sched::make_rt_sads_no_cost_function(
+      ProcessorOrder::kMinEndOffset));
+  run_with(*sched::make_rt_sads_no_cost_function(
+      ProcessorOrder::kMinCommCost));
+  run_with(
+      *sched::make_rt_sads_no_cost_function(ProcessorOrder::kIndexOrder));
+  {
+    SearchConfig cfg;
+    cfg.representation = Representation::kAssignmentOriented;
+    cfg.task_order = TaskOrder::kBatchOrder;
+    const sched::TreeSearchAlgorithm algo("RT-SADS/batch-order", cfg);
+    run_with(algo);
+  }
+  {
+    SearchConfig cfg;
+    cfg.representation = Representation::kAssignmentOriented;
+    cfg.task_order = TaskOrder::kMinSlack;
+    const sched::TreeSearchAlgorithm algo("RT-SADS/min-slack", cfg);
+    run_with(algo);
+  }
+  {
+    SearchConfig cfg;
+    cfg.representation = Representation::kAssignmentOriented;
+    cfg.skip_unplaceable_tasks = false;
+    const sched::TreeSearchAlgorithm algo("RT-SADS/strict-expand", cfg);
+    run_with(algo);
+  }
+
+  // --- D-COLS family --------------------------------------------------------
+  run_with(*sched::make_d_cols());
+  {
+    SearchConfig cfg;
+    cfg.representation = Representation::kSequenceOriented;
+    cfg.use_load_balance_cost = false;
+    cfg.skip_saturated_processors = false;
+    const sched::TreeSearchAlgorithm algo("D-COLS/strict-rr", cfg);
+    run_with(algo);
+  }
+  run_with(*sched::make_d_cols_least_loaded());
+  run_with(*sched::make_d_cols_pruned(4));
+  run_with(*sched::make_d_cols_pruned(16));
+  {
+    // Sequence-oriented but WITH the CE cost function: how much of the gap
+    // is representation vs cost model.
+    SearchConfig cfg;
+    cfg.representation = Representation::kSequenceOriented;
+    cfg.use_load_balance_cost = true;
+    const sched::TreeSearchAlgorithm algo("D-COLS/+cost-fn", cfg);
+    run_with(algo);
+  }
+
+  table.print(std::cout);
+  std::cout << "\nCSV:\n";
+  table.print_csv(std::cout);
+  return 0;
+}

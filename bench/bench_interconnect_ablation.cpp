@@ -1,0 +1,102 @@
+// ABL-NET — Interconnect cost-model ablation (Sec. 2).
+//
+// The paper's cost model assumes cut-through (wormhole) routing: c_ij is a
+// distance-independent constant C. This bench re-runs the headline cell
+// under (a) several magnitudes of C and (b) a store-and-forward 2D-mesh
+// model where cost grows with Manhattan distance to the nearest replica,
+// to show how sensitive the comparison is to that assumption.
+//
+// Expected shape: larger C tightens affinity constraints and widens the
+// RT-SADS lead (processor choice matters more); the mesh model behaves
+// like a larger effective C, not a qualitative change.
+#include <iostream>
+
+#include "exp/table.h"
+#include "bench_util.h"
+#include "db/placement.h"
+#include "db/transaction.h"
+#include "machine/cluster.h"
+#include "sched/presets.h"
+#include "sim/simulator.h"
+
+namespace {
+
+using namespace rtds;
+
+/// run_once with an arbitrary interconnect (the exp harness fixes
+/// cut-through; this bench swaps the network model).
+sched::RunMetrics run_with_net(const exp::ExperimentConfig& cfg,
+                               const machine::Interconnect& net,
+                               const sched::PhaseAlgorithm& algo,
+                               std::uint64_t seed) {
+  Xoshiro256ss rng(seed);
+  const db::GlobalDatabase database(cfg.database, rng);
+  const db::Placement placement = db::Placement::rotation(
+      cfg.database.num_subdbs, cfg.num_workers, cfg.replication_rate);
+  db::TransactionWorkloadConfig txn_cfg;
+  txn_cfg.num_transactions = cfg.num_transactions;
+  txn_cfg.scaling_factor = cfg.scaling_factor;
+  const auto txns = db::generate_transactions(database, txn_cfg, rng);
+  const auto workload = db::to_tasks(txns, database, placement, txn_cfg);
+
+  machine::Cluster cluster(cfg.num_workers, net);
+  sim::Simulator simulator;
+  const auto quantum = cfg.make_quantum();
+  sched::DriverConfig driver_cfg;
+  driver_cfg.vertex_generation_cost = cfg.vertex_cost;
+  const sched::PhaseScheduler scheduler(algo, *quantum, driver_cfg);
+  return scheduler.run(workload, cluster, simulator);
+}
+
+double mean_hit(const exp::ExperimentConfig& cfg,
+                const machine::Interconnect& net,
+                const sched::PhaseAlgorithm& algo) {
+  RunningStats s;
+  for (std::uint32_t i = 0; i < cfg.repetitions; ++i) {
+    s.add(run_with_net(cfg, net, algo, derive_seed(cfg.base_seed, i))
+              .hit_ratio());
+  }
+  return s.mean() * 100.0;
+}
+
+}  // namespace
+
+int main() {
+  using namespace rtds;
+  using namespace rtds::bench;
+
+  print_header("ABL-NET — communication cost model ablation",
+               "Sec. 2 cut-through assumption on the Figure-5 headline cell",
+               "larger C widens the RT-SADS lead; mesh ~ larger effective C");
+
+  const auto rt_sads = sched::make_rt_sads();
+  const auto d_cols = sched::make_d_cols();
+
+  exp::ExperimentConfig cfg;
+  cfg.num_workers = 10;
+  cfg.replication_rate = 0.3;
+  cfg.scaling_factor = 1.0;
+  cfg.num_transactions = 1000;
+  cfg.repetitions = 10;
+
+  exp::TextTable table({"interconnect", "RT-SADS hit%", "D-COLS hit%"});
+  for (std::int64_t c_ms : {0, 1, 5, 20}) {
+    const auto net =
+        machine::Interconnect::cut_through(cfg.num_workers, msec(c_ms));
+    table.add_row({"cut-through C=" + std::to_string(c_ms) + "ms",
+                   exp::fmt(mean_hit(cfg, net, *rt_sads), 1),
+                   exp::fmt(mean_hit(cfg, net, *d_cols), 1)});
+  }
+  for (std::int64_t hop_ms : {1, 2, 5}) {
+    const auto net =
+        machine::Interconnect::mesh(cfg.num_workers, msec(hop_ms));
+    table.add_row({"2D mesh hop=" + std::to_string(hop_ms) + "ms",
+                   exp::fmt(mean_hit(cfg, net, *rt_sads), 1),
+                   exp::fmt(mean_hit(cfg, net, *d_cols), 1)});
+  }
+
+  table.print(std::cout);
+  std::cout << "\nCSV:\n";
+  table.print_csv(std::cout);
+  return 0;
+}

@@ -1,0 +1,116 @@
+// MICRO — database substrate microbenchmarks (google-benchmark).
+//
+// Measures the operations behind the paper's Execution_Cost estimator and
+// the transaction executor: global-index probes, indexed selects, full
+// sub-database scans, and transaction/task generation throughput.
+#include <benchmark/benchmark.h>
+
+#include "common/rng.h"
+#include "db/database.h"
+#include "db/placement.h"
+#include "db/transaction.h"
+
+namespace {
+
+using namespace rtds;
+using namespace rtds::db;
+
+const GlobalDatabase& paper_db() {
+  static Xoshiro256ss rng(7);
+  static const GlobalDatabase db(DatabaseConfig{}, rng);
+  return db;
+}
+
+void BM_KeyFrequencyProbe(benchmark::State& state) {
+  const GlobalDatabase& db = paper_db();
+  std::uint32_t off = 0;
+  for (auto _ : state) {
+    const AttrValue v = db.encode(off % 10, kKeyAttribute, off % 100);
+    benchmark::DoNotOptimize(db.key_frequency(v));
+    ++off;
+  }
+  state.SetItemsProcessed(std::int64_t(state.iterations()));
+}
+BENCHMARK(BM_KeyFrequencyProbe);
+
+void BM_EstimateCost(benchmark::State& state) {
+  const GlobalDatabase& db = paper_db();
+  Xoshiro256ss rng(9);
+  TransactionWorkloadConfig cfg;
+  cfg.num_transactions = 512;
+  const auto txns = generate_transactions(db, cfg, rng);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(db.estimate_cost(txns[i % txns.size()]));
+    ++i;
+  }
+  state.SetItemsProcessed(std::int64_t(state.iterations()));
+}
+BENCHMARK(BM_EstimateCost);
+
+void BM_IndexedSelect(benchmark::State& state) {
+  const GlobalDatabase& db = paper_db();
+  Transaction txn;
+  txn.subdb = 3;
+  txn.predicates = {{kKeyAttribute, db.encode(3, kKeyAttribute, 42)}};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(db.execute(txn).matched);
+  }
+  state.SetItemsProcessed(std::int64_t(state.iterations()));
+}
+BENCHMARK(BM_IndexedSelect);
+
+void BM_FullScanSelect(benchmark::State& state) {
+  const GlobalDatabase& db = paper_db();
+  Transaction txn;
+  txn.subdb = 3;
+  txn.predicates = {{2u, db.encode(3, 2, 17)}, {5u, db.encode(3, 5, 3)}};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(db.execute(txn).matched);
+  }
+  state.SetItemsProcessed(
+      std::int64_t(state.iterations()) *
+      std::int64_t(paper_db().config().records_per_subdb));
+}
+BENCHMARK(BM_FullScanSelect);
+
+void BM_GenerateTransactions(benchmark::State& state) {
+  const GlobalDatabase& db = paper_db();
+  std::uint64_t seed = 0;
+  for (auto _ : state) {
+    Xoshiro256ss rng(++seed);
+    TransactionWorkloadConfig cfg;
+    cfg.num_transactions = static_cast<std::uint32_t>(state.range(0));
+    benchmark::DoNotOptimize(generate_transactions(db, cfg, rng).size());
+  }
+  state.SetItemsProcessed(std::int64_t(state.iterations()) * state.range(0));
+}
+BENCHMARK(BM_GenerateTransactions)->Arg(1000);
+
+void BM_TransactionsToTasks(benchmark::State& state) {
+  const GlobalDatabase& db = paper_db();
+  Xoshiro256ss rng(11);
+  TransactionWorkloadConfig cfg;
+  cfg.num_transactions = 1000;
+  const auto txns = generate_transactions(db, cfg, rng);
+  const Placement placement = Placement::rotation(10, 10, 0.3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(to_tasks(txns, db, placement, cfg).size());
+  }
+  state.SetItemsProcessed(std::int64_t(state.iterations()) * 1000);
+}
+BENCHMARK(BM_TransactionsToTasks);
+
+void BM_BuildGlobalDatabase(benchmark::State& state) {
+  std::uint64_t seed = 0;
+  for (auto _ : state) {
+    Xoshiro256ss rng(++seed);
+    const GlobalDatabase db(DatabaseConfig{}, rng);
+    benchmark::DoNotOptimize(db.num_subdbs());
+  }
+}
+BENCHMARK(BM_BuildGlobalDatabase);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,60 @@
+// ABL-Q — Scheduling-time allocation ablation (Sec. 4.2).
+//
+// The paper's self-adjusting criterion Q_s(j) <= max(Min_Slack, Min_Load)
+// against fixed quanta of several magnitudes, on the headline workload
+// (m=10, R=30%, SF=1). The motivation of Sec. 4.2 predicts:
+//   * very small fixed quanta waste the pipeline on phase turnover and
+//     cannot optimize;
+//   * very large fixed quanta violate slack (everything scheduled late or
+//     proven infeasible by the pessimistic delivery bound);
+//   * the self-adjusting policy tracks the sweet spot without tuning.
+#include <iostream>
+
+#include "bench_util.h"
+#include "exp/table.h"
+#include "sched/presets.h"
+
+int main() {
+  using namespace rtds;
+  using namespace rtds::bench;
+
+  print_header("ABL-Q — self-adjusting vs fixed scheduling quanta",
+               "Sec. 4.2 (criterion of Fig. 3) on the Figure-5 headline cell",
+               "self-adjusting ~= best fixed quantum, without tuning");
+
+  const auto rt_sads = sched::make_rt_sads();
+
+  exp::TextTable table({"quantum policy", "hit%", "±ci", "phases",
+                        "mean Q_s (ms)", "sched time (ms)"});
+
+  const auto run_with = [&](const exp::ExperimentConfig& cfg,
+                            const std::string& name) {
+    const exp::Aggregate a = exp::run_repeated(cfg, *rt_sads);
+    table.add_row({name, exp::fmt(a.hit_ratio.mean() * 100, 1),
+                   exp::fmt(confidence_interval(a.hit_ratio) * 100, 1),
+                   exp::fmt(a.phases.mean(), 0),
+                   exp::fmt(a.mean_quantum_ms.mean(), 2),
+                   exp::fmt(a.sched_time_ms.mean(), 1)});
+  };
+
+  exp::ExperimentConfig base;
+  base.num_workers = 10;
+  base.replication_rate = 0.3;
+  base.scaling_factor = 1.0;
+  base.num_transactions = 1000;
+  base.repetitions = 10;
+
+  run_with(base, "self-adjusting (paper)");
+
+  for (std::int64_t q_us : {100, 500, 2000, 10000, 50000}) {
+    exp::ExperimentConfig cfg = base;
+    cfg.quantum = exp::QuantumKind::kFixed;
+    cfg.fixed_quantum = usec(q_us);
+    run_with(cfg, "fixed " + exp::fmt(double(q_us) / 1000.0, 1) + "ms");
+  }
+
+  table.print(std::cout);
+  std::cout << "\nCSV:\n";
+  table.print_csv(std::cout);
+  return 0;
+}

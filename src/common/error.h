@@ -1,0 +1,58 @@
+// Error handling primitives.
+//
+// The library throws `rtds::Error` for violated preconditions in public APIs
+// and uses RTDS_ASSERT for internal invariants (enabled in all build types —
+// the simulations are cheap enough that we never want silent corruption).
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace rtds {
+
+/// Base exception for the library.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Thrown when a public API precondition is violated.
+class InvalidArgument : public Error {
+ public:
+  explicit InvalidArgument(const std::string& what) : Error(what) {}
+};
+
+/// Thrown when an internal invariant is violated (a bug in this library).
+class InvariantViolation : public Error {
+ public:
+  explicit InvariantViolation(const std::string& what) : Error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void assert_fail(const char* expr, const char* file,
+                                     int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "invariant violated: " << expr << " at " << file << ":" << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw InvariantViolation(os.str());
+}
+}  // namespace detail
+
+}  // namespace rtds
+
+#define RTDS_ASSERT(expr)                                            \
+  do {                                                               \
+    if (!(expr)) ::rtds::detail::assert_fail(#expr, __FILE__, __LINE__, ""); \
+  } while (0)
+
+#define RTDS_ASSERT_MSG(expr, msg)                                   \
+  do {                                                               \
+    if (!(expr))                                                     \
+      ::rtds::detail::assert_fail(#expr, __FILE__, __LINE__, (msg)); \
+  } while (0)
+
+#define RTDS_REQUIRE(expr, msg)                        \
+  do {                                                 \
+    if (!(expr)) throw ::rtds::InvalidArgument((msg)); \
+  } while (0)

@@ -1,0 +1,77 @@
+#include "common/histogram.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+namespace rtds {
+
+Histogram::Histogram(double lo, double hi, std::size_t num_buckets)
+    : lo_(lo), hi_(hi), buckets_(num_buckets, 0) {
+  RTDS_REQUIRE(lo < hi, "Histogram: lo must be < hi");
+  RTDS_REQUIRE(num_buckets >= 1, "Histogram: need >= 1 bucket");
+  width_ = (hi - lo) / double(num_buckets);
+}
+
+void Histogram::add(double x) {
+  ++count_;
+  if (x < lo_) {
+    ++underflow_;
+    return;
+  }
+  if (x >= hi_) {
+    ++overflow_;
+    return;
+  }
+  const auto idx = std::min(
+      buckets_.size() - 1, std::size_t((x - lo_) / width_));
+  ++buckets_[idx];
+}
+
+double Histogram::quantile(double q) const {
+  RTDS_REQUIRE(count_ > 0, "quantile: empty histogram");
+  RTDS_REQUIRE(q >= 0.0 && q <= 1.0, "quantile: q outside [0,1]");
+  const double rank = q * double(count_);
+  double seen = double(underflow_);
+  if (rank <= seen) return lo_;
+  for (std::size_t i = 0; i < buckets_.size(); ++i) {
+    const double next = seen + double(buckets_[i]);
+    if (rank <= next && buckets_[i] > 0) {
+      const double frac = (rank - seen) / double(buckets_[i]);
+      return bucket_lo(i) + frac * width_;
+    }
+    seen = next;
+  }
+  return hi_;
+}
+
+std::string Histogram::render(std::size_t max_bar) const {
+  std::uint64_t peak = std::max<std::uint64_t>(
+      {underflow_, overflow_,
+       buckets_.empty() ? 0
+                        : *std::max_element(buckets_.begin(),
+                                            buckets_.end())});
+  if (peak == 0) peak = 1;
+  std::ostringstream os;
+  const auto bar = [&](std::uint64_t c) {
+    return std::string(std::size_t(std::llround(
+                           double(c) / double(peak) * double(max_bar))),
+                       '#');
+  };
+  if (underflow_ > 0) {
+    os << "  < " << lo_ << ": " << underflow_ << " " << bar(underflow_)
+       << "\n";
+  }
+  for (std::size_t i = 0; i < buckets_.size(); ++i) {
+    if (buckets_[i] == 0) continue;
+    os << "  [" << bucket_lo(i) << ", " << bucket_hi(i) << "): "
+       << buckets_[i] << " " << bar(buckets_[i]) << "\n";
+  }
+  if (overflow_ > 0) {
+    os << " >= " << hi_ << ": " << overflow_ << " " << bar(overflow_)
+       << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace rtds

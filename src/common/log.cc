@@ -1,0 +1,28 @@
+#include "common/log.h"
+
+#include <iostream>
+
+namespace rtds {
+
+std::mutex Log::mutex_;
+LogLevel Log::level_ = LogLevel::kWarn;
+
+void Log::set_level(LogLevel level) {
+  std::lock_guard lock(mutex_);
+  level_ = level;
+}
+
+LogLevel Log::level() {
+  std::lock_guard lock(mutex_);
+  return level_;
+}
+
+void Log::write(LogLevel level, const std::string& message) {
+  static constexpr const char* kNames[] = {"TRACE", "DEBUG", "INFO", "WARN",
+                                           "ERROR"};
+  std::lock_guard lock(mutex_);
+  std::cerr << "[" << kNames[static_cast<int>(level)] << "] " << message
+            << "\n";
+}
+
+}  // namespace rtds

@@ -1,0 +1,63 @@
+// Minimal leveled logger.
+//
+// Used by the simulation and the threaded runtime for trace output during
+// debugging and the examples. Off (Level::kWarn) by default so tests and
+// benchmarks stay quiet.
+#pragma once
+
+#include <mutex>
+#include <sstream>
+#include <string>
+
+namespace rtds {
+
+enum class LogLevel { kTrace = 0, kDebug = 1, kInfo = 2, kWarn = 3, kError = 4 };
+
+/// Process-wide logger. Thread-safe; a single mutex serializes output, which
+/// is fine because logging is only enabled for debugging and demos.
+class Log {
+ public:
+  static void set_level(LogLevel level);
+  static LogLevel level();
+  static bool enabled(LogLevel level) { return level >= Log::level(); }
+
+  /// Writes one line (with level prefix) to stderr.
+  static void write(LogLevel level, const std::string& message);
+
+ private:
+  static std::mutex mutex_;
+  static LogLevel level_;
+};
+
+namespace detail {
+class LogLine {
+ public:
+  explicit LogLine(LogLevel level) : level_(level) {}
+  ~LogLine() { Log::write(level_, os_.str()); }
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+
+  template <typename T>
+  LogLine& operator<<(const T& v) {
+    os_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream os_;
+};
+}  // namespace detail
+
+}  // namespace rtds
+
+#define RTDS_LOG(level)                         \
+  if (!::rtds::Log::enabled(level)) {           \
+  } else                                        \
+    ::rtds::detail::LogLine(level)
+
+#define RTDS_TRACE RTDS_LOG(::rtds::LogLevel::kTrace)
+#define RTDS_DEBUG RTDS_LOG(::rtds::LogLevel::kDebug)
+#define RTDS_INFO RTDS_LOG(::rtds::LogLevel::kInfo)
+#define RTDS_WARN RTDS_LOG(::rtds::LogLevel::kWarn)
+#define RTDS_ERROR RTDS_LOG(::rtds::LogLevel::kError)

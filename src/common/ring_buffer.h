@@ -1,0 +1,65 @@
+// Fixed-capacity ring buffer.
+//
+// Used by the threaded runtime's mailboxes (bounded, no allocation after
+// construction) and by the simulator's trace recorder.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "common/error.h"
+
+namespace rtds {
+
+/// Single-threaded bounded FIFO. Capacity is fixed at construction; push on
+/// a full buffer fails rather than reallocating, which keeps the threaded
+/// runtime's memory behaviour predictable.
+template <typename T>
+class RingBuffer {
+ public:
+  explicit RingBuffer(std::size_t capacity) : slots_(capacity + 1) {
+    RTDS_REQUIRE(capacity > 0, "RingBuffer capacity must be positive");
+  }
+
+  [[nodiscard]] std::size_t capacity() const { return slots_.size() - 1; }
+  [[nodiscard]] std::size_t size() const {
+    return (tail_ + slots_.size() - head_) % slots_.size();
+  }
+  [[nodiscard]] bool empty() const { return head_ == tail_; }
+  [[nodiscard]] bool full() const {
+    return (tail_ + 1) % slots_.size() == head_;
+  }
+
+  /// Returns false (and leaves the buffer unchanged) when full.
+  bool push(T value) {
+    if (full()) return false;
+    slots_[tail_] = std::move(value);
+    tail_ = (tail_ + 1) % slots_.size();
+    return true;
+  }
+
+  /// Pops the oldest element, or nullopt when empty.
+  std::optional<T> pop() {
+    if (empty()) return std::nullopt;
+    T out = std::move(slots_[head_]);
+    head_ = (head_ + 1) % slots_.size();
+    return out;
+  }
+
+  /// Oldest element without removing it.
+  [[nodiscard]] const T& front() const {
+    RTDS_REQUIRE(!empty(), "front() of empty RingBuffer");
+    return slots_[head_];
+  }
+
+  void clear() { head_ = tail_ = 0; }
+
+ private:
+  std::vector<T> slots_;
+  std::size_t head_{0};
+  std::size_t tail_{0};
+};
+
+}  // namespace rtds

@@ -1,0 +1,81 @@
+#include "common/rng.h"
+
+#include <cmath>
+
+#ifdef __SIZEOF_INT128__
+using uint128 = unsigned __int128;
+#else
+#error "128-bit integer support required"
+#endif
+
+namespace rtds {
+
+std::int64_t Xoshiro256ss::uniform_int(std::int64_t lo, std::int64_t hi) {
+  RTDS_REQUIRE(lo <= hi, "uniform_int: lo > hi");
+  const std::uint64_t range = static_cast<std::uint64_t>(hi - lo) + 1;
+  if (range == 0) {  // full 64-bit range
+    return static_cast<std::int64_t>(next());
+  }
+  // Lemire's method: multiply-shift with rejection to remove bias.
+  std::uint64_t x = next();
+  uint128 m = uint128(x) * uint128(range);
+  auto l = static_cast<std::uint64_t>(m);
+  if (l < range) {
+    const std::uint64_t t = (0 - range) % range;
+    while (l < t) {
+      x = next();
+      m = uint128(x) * uint128(range);
+      l = static_cast<std::uint64_t>(m);
+    }
+  }
+  return lo + static_cast<std::int64_t>(m >> 64);
+}
+
+double Xoshiro256ss::uniform_double() {
+  // 53 high bits -> [0, 1) with full double precision.
+  return double(next() >> 11) * 0x1.0p-53;
+}
+
+double Xoshiro256ss::uniform_double(double lo, double hi) {
+  RTDS_REQUIRE(lo <= hi, "uniform_double: lo > hi");
+  return lo + (hi - lo) * uniform_double();
+}
+
+bool Xoshiro256ss::bernoulli(double p) {
+  RTDS_REQUIRE(p >= 0.0 && p <= 1.0, "bernoulli: p outside [0,1]");
+  return uniform_double() < p;
+}
+
+double Xoshiro256ss::exponential(double mean) {
+  RTDS_REQUIRE(mean > 0.0, "exponential: mean must be positive");
+  double u = uniform_double();
+  // Guard against log(0); uniform_double() can return exactly 0.
+  if (u <= 0.0) u = 0x1.0p-53;
+  return -mean * std::log(u);
+}
+
+SimDuration Xoshiro256ss::uniform_duration(SimDuration lo, SimDuration hi) {
+  return SimDuration{uniform_int(lo.us, hi.us)};
+}
+
+std::vector<std::size_t> Xoshiro256ss::sample_indices(std::size_t n,
+                                                      std::size_t k) {
+  RTDS_REQUIRE(k <= n, "sample_indices: k > n");
+  std::vector<std::size_t> idx(n);
+  for (std::size_t i = 0; i < n; ++i) idx[i] = i;
+  for (std::size_t i = 0; i < k; ++i) {
+    const auto j = static_cast<std::size_t>(
+        uniform_int(std::int64_t(i), std::int64_t(n) - 1));
+    std::swap(idx[i], idx[j]);
+  }
+  idx.resize(k);
+  return idx;
+}
+
+std::uint64_t derive_seed(std::uint64_t base_seed, std::uint64_t run_index) {
+  SplitMix64 sm(base_seed ^ (0xa0761d6478bd642fULL * (run_index + 1)));
+  sm.next();
+  return sm.next();
+}
+
+}  // namespace rtds

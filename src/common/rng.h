@@ -1,0 +1,118 @@
+// Deterministic random number generation.
+//
+// Every stochastic choice in the library (workload generation, database
+// population, replication placement) flows from one of these generators so
+// that the paper's 10-run experiment protocol is reproducible bit-for-bit:
+// run i of an experiment uses a seed derived from (base_seed, i) via
+// SplitMix64, which is the recommended seeding procedure for xoshiro.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "common/error.h"
+#include "common/time.h"
+
+namespace rtds {
+
+/// SplitMix64 — tiny, full-period 64-bit generator used to expand seeds.
+class SplitMix64 {
+ public:
+  explicit constexpr SplitMix64(std::uint64_t seed) : state_(seed) {}
+
+  constexpr std::uint64_t next() {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+/// xoshiro256** — the library's workhorse generator. Fast, high quality,
+/// and trivially seedable from a single 64-bit value.
+class Xoshiro256ss {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Xoshiro256ss(std::uint64_t seed) {
+    SplitMix64 sm(seed);
+    for (auto& s : state_) s = sm.next();
+  }
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~result_type{0}; }
+
+  result_type operator()() { return next(); }
+
+  std::uint64_t next() {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform integer in [lo, hi] (inclusive). Uses Lemire's unbiased
+  /// multiply-shift rejection method.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi);
+
+  /// Uniform double in [0, 1).
+  double uniform_double();
+
+  /// Uniform double in [lo, hi).
+  double uniform_double(double lo, double hi);
+
+  /// Bernoulli trial with success probability p in [0, 1].
+  bool bernoulli(double p);
+
+  /// Exponentially distributed double with the given mean (> 0).
+  double exponential(double mean);
+
+  /// Uniform duration in [lo, hi] (inclusive, microsecond granularity).
+  SimDuration uniform_duration(SimDuration lo, SimDuration hi);
+
+  /// Picks k distinct indices out of [0, n) uniformly (partial
+  /// Fisher-Yates). Requires k <= n. Result order is the shuffle order.
+  std::vector<std::size_t> sample_indices(std::size_t n, std::size_t k);
+
+  /// In-place Fisher-Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& v) {
+    for (std::size_t i = v.size(); i > 1; --i) {
+      const auto j =
+          static_cast<std::size_t>(uniform_int(0, std::int64_t(i) - 1));
+      using std::swap;
+      swap(v[i - 1], v[j]);
+    }
+  }
+
+  /// Picks one element of a non-empty vector uniformly.
+  template <typename T>
+  const T& pick(const std::vector<T>& v) {
+    RTDS_REQUIRE(!v.empty(), "pick() from empty vector");
+    return v[static_cast<std::size_t>(
+        uniform_int(0, std::int64_t(v.size()) - 1))];
+  }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::array<std::uint64_t, 4> state_{};
+};
+
+/// Derives a per-run seed from an experiment's base seed and the run index.
+/// The paper runs every experiment 10 times and averages; this makes each
+/// run independent but reproducible.
+std::uint64_t derive_seed(std::uint64_t base_seed, std::uint64_t run_index);
+
+}  // namespace rtds

@@ -1,0 +1,180 @@
+#include "common/stats.h"
+
+#include <cmath>
+#include <limits>
+
+#include "common/error.h"
+
+namespace rtds {
+
+void RunningStats::add(double x) {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    if (x < min_) min_ = x;
+    if (x > max_) max_ = x;
+  }
+  ++n_;
+  const double delta = x - mean_;
+  mean_ += delta / double(n_);
+  m2_ += delta * (x - mean_);
+}
+
+double RunningStats::mean() const {
+  RTDS_REQUIRE(n_ > 0, "mean() of empty sample");
+  return mean_;
+}
+
+double RunningStats::variance() const {
+  if (n_ < 2) return 0.0;
+  return m2_ / double(n_ - 1);
+}
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+double RunningStats::min() const {
+  RTDS_REQUIRE(n_ > 0, "min() of empty sample");
+  return min_;
+}
+
+double RunningStats::max() const {
+  RTDS_REQUIRE(n_ > 0, "max() of empty sample");
+  return max_;
+}
+
+void RunningStats::merge(const RunningStats& other) {
+  if (other.n_ == 0) return;
+  if (n_ == 0) {
+    *this = other;
+    return;
+  }
+  const double delta = other.mean_ - mean_;
+  const auto n = double(n_ + other.n_);
+  m2_ += other.m2_ + delta * delta * double(n_) * double(other.n_) / n;
+  mean_ += delta * double(other.n_) / n;
+  if (other.min_ < min_) min_ = other.min_;
+  if (other.max_ > max_) max_ = other.max_;
+  n_ += other.n_;
+}
+
+double regularized_incomplete_beta(double a, double b, double x) {
+  RTDS_REQUIRE(a > 0 && b > 0, "incomplete beta: a, b must be positive");
+  RTDS_REQUIRE(x >= 0 && x <= 1, "incomplete beta: x outside [0,1]");
+  if (x == 0.0) return 0.0;
+  if (x == 1.0) return 1.0;
+
+  // Use the symmetry I_x(a,b) = 1 - I_{1-x}(b,a) so the continued fraction
+  // converges quickly.
+  if (x > (a + 1.0) / (a + b + 2.0)) {
+    return 1.0 - regularized_incomplete_beta(b, a, 1.0 - x);
+  }
+
+  const double ln_beta =
+      std::lgamma(a) + std::lgamma(b) - std::lgamma(a + b);
+  const double front =
+      std::exp(a * std::log(x) + b * std::log(1.0 - x) - ln_beta) / a;
+
+  // Lentz's algorithm for the continued fraction.
+  const double tiny = 1e-300;
+  double f = 1.0, c = 1.0, d = 0.0;
+  for (int i = 0; i <= 400; ++i) {
+    const int m = i / 2;
+    double numerator;
+    if (i == 0) {
+      numerator = 1.0;
+    } else if (i % 2 == 0) {
+      numerator = (m * (b - m) * x) / ((a + 2.0 * m - 1.0) * (a + 2.0 * m));
+    } else {
+      numerator =
+          -((a + m) * (a + b + m) * x) / ((a + 2.0 * m) * (a + 2.0 * m + 1.0));
+    }
+    d = 1.0 + numerator * d;
+    if (std::fabs(d) < tiny) d = tiny;
+    d = 1.0 / d;
+    c = 1.0 + numerator / c;
+    if (std::fabs(c) < tiny) c = tiny;
+    const double cd = c * d;
+    f *= cd;
+    if (std::fabs(1.0 - cd) < 1e-12) break;
+  }
+  return front * (f - 1.0);
+}
+
+namespace {
+
+/// Two-tailed p-value for a Student-t statistic with df degrees of freedom:
+/// P(|T| > |t|) = I_{df/(df+t^2)}(df/2, 1/2).
+double student_t_two_tailed_p(double t, double df) {
+  const double x = df / (df + t * t);
+  return regularized_incomplete_beta(df / 2.0, 0.5, x);
+}
+
+}  // namespace
+
+WelchResult welch_t_test(const RunningStats& a, const RunningStats& b) {
+  RTDS_REQUIRE(a.count() >= 2 && b.count() >= 2,
+               "welch_t_test: need >= 2 observations per sample");
+  const double va = a.variance() / double(a.count());
+  const double vb = b.variance() / double(b.count());
+  WelchResult r;
+  if (va + vb == 0.0) {
+    // Identical constants on both sides: no evidence of a difference unless
+    // the means differ, in which case the difference is exact.
+    r.t_statistic = (a.mean() == b.mean())
+                        ? 0.0
+                        : std::numeric_limits<double>::infinity();
+    r.degrees_of_freedom = double(a.count() + b.count() - 2);
+    r.p_value = (a.mean() == b.mean()) ? 1.0 : 0.0;
+    return r;
+  }
+  r.t_statistic = (a.mean() - b.mean()) / std::sqrt(va + vb);
+  const double num = (va + vb) * (va + vb);
+  const double den = va * va / double(a.count() - 1) +
+                     vb * vb / double(b.count() - 1);
+  r.degrees_of_freedom = num / den;
+  r.p_value = student_t_two_tailed_p(r.t_statistic, r.degrees_of_freedom);
+  return r;
+}
+
+double student_t_critical(double df, double alpha) {
+  RTDS_REQUIRE(df > 0, "student_t_critical: df must be positive");
+  RTDS_REQUIRE(alpha > 0 && alpha < 1, "student_t_critical: bad alpha");
+  // Bisection on the two-tailed p-value; monotone decreasing in t.
+  double lo = 0.0, hi = 1.0;
+  while (student_t_two_tailed_p(hi, df) > alpha) {
+    hi *= 2.0;
+    if (hi > 1e8) break;
+  }
+  for (int i = 0; i < 200; ++i) {
+    const double mid = 0.5 * (lo + hi);
+    if (student_t_two_tailed_p(mid, df) > alpha) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  return 0.5 * (lo + hi);
+}
+
+double confidence_interval(const RunningStats& s, double confidence) {
+  if (s.count() < 2) return 0.0;
+  const double alpha = 1.0 - confidence;
+  const double t = student_t_critical(double(s.count() - 1), alpha);
+  return t * s.stddev() / std::sqrt(double(s.count()));
+}
+
+Summary summarize(const std::vector<double>& xs) {
+  Summary out;
+  RunningStats rs;
+  for (double x : xs) rs.add(x);
+  out.n = rs.count();
+  if (out.n == 0) return out;
+  out.mean = rs.mean();
+  out.stddev = rs.stddev();
+  out.min = rs.min();
+  out.max = rs.max();
+  out.ci99 = confidence_interval(rs, 0.99);
+  return out;
+}
+
+}  // namespace rtds

@@ -1,0 +1,83 @@
+// Statistics used by the experiment harness.
+//
+// The paper's protocol (Sec. 5.1): every experiment is run 10 times, the
+// mean is plotted, and a two-tailed difference-of-means test at the 0.01
+// significance level establishes that the RT-SADS/D-COLS gaps are real.
+// `RunningStats` accumulates the per-run observations, `welch_t_test`
+// implements the unequal-variance difference-of-means test, and
+// `confidence_interval` produces the mean ± margin used in the tables.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace rtds {
+
+/// Numerically stable (Welford) accumulator for mean / variance / extrema.
+class RunningStats {
+ public:
+  void add(double x);
+
+  [[nodiscard]] std::size_t count() const { return n_; }
+  [[nodiscard]] bool empty() const { return n_ == 0; }
+  [[nodiscard]] double mean() const;
+  /// Sample variance (n-1 denominator). Zero for fewer than two samples.
+  [[nodiscard]] double variance() const;
+  [[nodiscard]] double stddev() const;
+  [[nodiscard]] double min() const;
+  [[nodiscard]] double max() const;
+
+  /// Merges another accumulator into this one (parallel Welford).
+  void merge(const RunningStats& other);
+
+ private:
+  std::size_t n_{0};
+  double mean_{0.0};
+  double m2_{0.0};
+  double min_{0.0};
+  double max_{0.0};
+};
+
+/// Result of a two-tailed Welch difference-of-means test.
+struct WelchResult {
+  double t_statistic{0.0};
+  double degrees_of_freedom{0.0};
+  /// Two-tailed p-value, computed from the Student-t distribution via the
+  /// regularized incomplete beta function.
+  double p_value{1.0};
+  /// Convenience: p_value < alpha.
+  [[nodiscard]] bool significant(double alpha = 0.01) const {
+    return p_value < alpha;
+  }
+};
+
+/// Welch's unequal-variance t-test on two accumulated samples.
+/// Requires at least two observations on each side.
+WelchResult welch_t_test(const RunningStats& a, const RunningStats& b);
+
+/// Two-sided confidence interval half-width for the mean of `s` at the
+/// given confidence level (e.g. 0.99), using the Student-t distribution.
+/// Returns 0 for fewer than two samples.
+double confidence_interval(const RunningStats& s, double confidence = 0.99);
+
+/// Student-t two-tailed critical value for `df` degrees of freedom at the
+/// given tail probability alpha (e.g. 0.01 -> 99% two-sided interval).
+double student_t_critical(double df, double alpha);
+
+/// Regularized incomplete beta function I_x(a, b), continued-fraction
+/// implementation (Numerical-Recipes style). Exposed for testing.
+double regularized_incomplete_beta(double a, double b, double x);
+
+/// Simple descriptive summary of a raw sample vector.
+struct Summary {
+  std::size_t n{0};
+  double mean{0.0};
+  double stddev{0.0};
+  double min{0.0};
+  double max{0.0};
+  double ci99{0.0};  ///< 99% confidence half-width
+};
+
+Summary summarize(const std::vector<double>& xs);
+
+}  // namespace rtds

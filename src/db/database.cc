@@ -1,0 +1,162 @@
+#include "db/database.h"
+
+#include "common/error.h"
+
+namespace rtds::db {
+
+namespace {
+
+void validate(const DatabaseConfig& c) {
+  RTDS_REQUIRE(c.num_subdbs >= 1, "DatabaseConfig: need >= 1 sub-database");
+  RTDS_REQUIRE(c.records_per_subdb >= 1, "DatabaseConfig: need records");
+  RTDS_REQUIRE(c.num_attributes >= 1, "DatabaseConfig: need attributes");
+  RTDS_REQUIRE(c.domain_size >= 1, "DatabaseConfig: need a domain");
+  RTDS_REQUIRE(c.check_cost > SimDuration::zero(),
+               "DatabaseConfig: check cost must be positive");
+  // The encoding must fit in 32 bits.
+  const std::uint64_t top = std::uint64_t(c.num_subdbs) * c.num_attributes *
+                            c.domain_size;
+  RTDS_REQUIRE(top <= std::uint64_t{1} << 32,
+               "DatabaseConfig: value encoding overflows 32 bits");
+}
+
+}  // namespace
+
+SubDatabase::SubDatabase(std::uint32_t subdb_id, const DatabaseConfig& config,
+                         Xoshiro256ss& rng)
+    : id_(subdb_id) {
+  records_.reserve(config.records_per_subdb);
+  for (std::uint32_t r = 0; r < config.records_per_subdb; ++r) {
+    Record rec(config.num_attributes);
+    for (std::uint32_t a = 0; a < config.num_attributes; ++a) {
+      const auto offset = static_cast<std::uint32_t>(
+          rng.uniform_int(0, std::int64_t(config.domain_size) - 1));
+      rec[a] = (std::uint32_t(subdb_id) * config.num_attributes + a) *
+                   config.domain_size +
+               offset;
+    }
+    key_index_[rec[kKeyAttribute]].push_back(r);
+    records_.push_back(std::move(rec));
+  }
+}
+
+std::vector<std::uint32_t> SubDatabase::key_lookup(AttrValue value) const {
+  auto it = key_index_.find(value);
+  if (it == key_index_.end()) return {};
+  return it->second;
+}
+
+QueryResult SubDatabase::execute(const Transaction& txn,
+                                 QueryMode mode) const {
+  QueryResult result;
+  const auto matches = [&](const Record& rec) {
+    for (const Predicate& p : txn.predicates) {
+      RTDS_REQUIRE(p.attribute < rec.size(),
+                   "execute: predicate attribute out of range");
+      if (rec[p.attribute] != p.value) return false;
+    }
+    return true;
+  };
+  const auto check = [&](const Record& rec) {
+    ++result.checked;
+    if (matches(rec)) {
+      ++result.matched;
+      return mode == QueryMode::kFirstMatch;  // stop on first hit
+    }
+    return false;
+  };
+
+  if (txn.references_key()) {
+    // Index probe on the key predicate, then verify remaining predicates.
+    AttrValue key_value = 0;
+    for (const Predicate& p : txn.predicates) {
+      if (p.attribute == kKeyAttribute) {
+        key_value = p.value;
+        break;
+      }
+    }
+    for (std::uint32_t row : key_lookup(key_value)) {
+      if (check(records_[row])) break;
+    }
+  } else {
+    for (const Record& rec : records_) {
+      if (check(rec)) break;
+    }
+  }
+  return result;
+}
+
+GlobalDatabase::GlobalDatabase(DatabaseConfig config, Xoshiro256ss& rng)
+    : config_(config) {
+  validate(config_);
+  subdbs_.reserve(config_.num_subdbs);
+  for (std::uint32_t s = 0; s < config_.num_subdbs; ++s) {
+    subdbs_.emplace_back(s, config_, rng);
+    // Merge this partition's key index into the host's global index file.
+    for (const Record& rec : subdbs_.back().records()) {
+      ++global_key_index_[rec[kKeyAttribute]];
+    }
+  }
+}
+
+const SubDatabase& GlobalDatabase::subdb(std::uint32_t s) const {
+  RTDS_REQUIRE(s < subdbs_.size(), "subdb: id out of range");
+  return subdbs_[s];
+}
+
+AttrValue GlobalDatabase::encode(std::uint32_t subdb, std::uint32_t attribute,
+                                 std::uint32_t offset) const {
+  RTDS_REQUIRE(subdb < config_.num_subdbs, "encode: bad sub-database");
+  RTDS_REQUIRE(attribute < config_.num_attributes, "encode: bad attribute");
+  RTDS_REQUIRE(offset < config_.domain_size, "encode: bad domain offset");
+  return (subdb * config_.num_attributes + attribute) * config_.domain_size +
+         offset;
+}
+
+std::uint32_t GlobalDatabase::owner_subdb(AttrValue value) const {
+  const std::uint32_t s =
+      value / (config_.num_attributes * config_.domain_size);
+  RTDS_REQUIRE(s < config_.num_subdbs, "owner_subdb: value out of range");
+  return s;
+}
+
+std::uint32_t GlobalDatabase::attribute_of(AttrValue value) const {
+  return (value / config_.domain_size) % config_.num_attributes;
+}
+
+std::uint32_t GlobalDatabase::key_frequency(AttrValue value) const {
+  auto it = global_key_index_.find(value);
+  return it == global_key_index_.end() ? 0 : it->second;
+}
+
+SimDuration GlobalDatabase::estimate_cost(const Transaction& txn) const {
+  RTDS_REQUIRE(!txn.predicates.empty(),
+               "estimate_cost: transaction with no predicates");
+  std::uint64_t iterations = config_.records_per_subdb;  // r/d
+  if (txn.references_key()) {
+    for (const Predicate& p : txn.predicates) {
+      if (p.attribute == kKeyAttribute) {
+        iterations = key_frequency(p.value);
+        break;
+      }
+    }
+    if (iterations == 0) iterations = 1;  // discovering absence costs a probe
+  }
+  return config_.check_cost * std::int64_t(iterations);
+}
+
+QueryResult GlobalDatabase::execute(const Transaction& txn,
+                                    QueryMode mode) const {
+  RTDS_REQUIRE(txn.subdb < subdbs_.size(), "execute: bad sub-database id");
+  return subdbs_[txn.subdb].execute(txn, mode);
+}
+
+SimDuration GlobalDatabase::actual_cost(const Transaction& txn,
+                                        QueryMode mode) const {
+  const QueryResult r = execute(txn, mode);
+  const std::uint32_t checks = r.checked == 0 ? 1 : r.checked;
+  const SimDuration cost = config_.check_cost * std::int64_t(checks);
+  return min_duration(cost, estimate_cost(txn));
+}
+
+}  // namespace rtds::db

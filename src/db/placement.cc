@@ -1,0 +1,67 @@
+#include "db/placement.h"
+
+#include <cmath>
+
+#include "common/error.h"
+
+namespace rtds::db {
+
+Placement::Placement(std::uint32_t num_workers, double rate,
+                     std::uint32_t copies, std::vector<AffinitySet> holders)
+    : num_workers_(num_workers),
+      rate_(rate),
+      copies_(copies),
+      holders_(std::move(holders)) {}
+
+std::uint32_t Placement::copies_for(std::uint32_t num_workers,
+                                    double replication_rate) {
+  RTDS_REQUIRE(num_workers >= 1, "Placement: need >= 1 worker");
+  RTDS_REQUIRE(replication_rate > 0.0 && replication_rate <= 1.0,
+               "Placement: replication rate outside (0,1]");
+  const auto copies = static_cast<std::uint32_t>(
+      std::llround(replication_rate * double(num_workers)));
+  return std::max<std::uint32_t>(1, std::min(copies, num_workers));
+}
+
+Placement Placement::rotation(std::uint32_t num_subdbs,
+                              std::uint32_t num_workers,
+                              double replication_rate) {
+  RTDS_REQUIRE(num_subdbs >= 1, "Placement: need >= 1 sub-database");
+  const std::uint32_t copies = copies_for(num_workers, replication_rate);
+  std::vector<AffinitySet> holders(num_subdbs);
+  for (std::uint32_t s = 0; s < num_subdbs; ++s) {
+    for (std::uint32_t c = 0; c < copies; ++c) {
+      holders[s].add((s + c) % num_workers);
+    }
+  }
+  return Placement(num_workers, replication_rate, copies, std::move(holders));
+}
+
+Placement Placement::random(std::uint32_t num_subdbs,
+                            std::uint32_t num_workers,
+                            double replication_rate, Xoshiro256ss& rng) {
+  RTDS_REQUIRE(num_subdbs >= 1, "Placement: need >= 1 sub-database");
+  const std::uint32_t copies = copies_for(num_workers, replication_rate);
+  std::vector<AffinitySet> holders(num_subdbs);
+  for (std::uint32_t s = 0; s < num_subdbs; ++s) {
+    for (std::size_t w : rng.sample_indices(num_workers, copies)) {
+      holders[s].add(static_cast<ProcessorId>(w));
+    }
+  }
+  return Placement(num_workers, replication_rate, copies, std::move(holders));
+}
+
+const AffinitySet& Placement::holders(std::uint32_t subdb) const {
+  RTDS_REQUIRE(subdb < holders_.size(), "holders: bad sub-database id");
+  return holders_[subdb];
+}
+
+std::uint32_t Placement::held_by(ProcessorId w) const {
+  std::uint32_t count = 0;
+  for (const AffinitySet& h : holders_) {
+    if (h.contains(w)) ++count;
+  }
+  return count;
+}
+
+}  // namespace rtds::db

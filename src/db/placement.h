@@ -1,0 +1,64 @@
+// Replication placement (Sec. 5.1).
+//
+// Based on the replication rate R, sub-databases are copied into the local
+// memories of the processing nodes: each sub-database gets
+// copies(R, m) = clamp(round(R * m), 1, m) replicas. At R = 10% with m = 10
+// every sub-database lives on exactly one worker; at R = 100% every worker
+// holds the whole global database. Replication rate and task-to-processor
+// affinity are the same dial: a transaction's affinity set is exactly the
+// holder set of its sub-database.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "tasks/task.h"
+
+namespace rtds::db {
+
+using tasks::AffinitySet;
+using tasks::ProcessorId;
+
+class Placement {
+ public:
+  /// Deterministic rotation placement: copy c of sub-database s goes to
+  /// worker (s + c) mod m. Spreads primaries and replicas evenly, as a
+  /// striped database layout would.
+  static Placement rotation(std::uint32_t num_subdbs,
+                            std::uint32_t num_workers,
+                            double replication_rate);
+
+  /// Randomized placement: each sub-database's holders are a uniform
+  /// random sample of copies(R, m) workers. Used to check the results do
+  /// not depend on the rotation layout.
+  static Placement random(std::uint32_t num_subdbs, std::uint32_t num_workers,
+                          double replication_rate, Xoshiro256ss& rng);
+
+  [[nodiscard]] std::uint32_t num_subdbs() const {
+    return static_cast<std::uint32_t>(holders_.size());
+  }
+  [[nodiscard]] std::uint32_t num_workers() const { return num_workers_; }
+  [[nodiscard]] std::uint32_t copies() const { return copies_; }
+  [[nodiscard]] double replication_rate() const { return rate_; }
+
+  /// Workers holding sub-database `subdb` in local memory.
+  [[nodiscard]] const AffinitySet& holders(std::uint32_t subdb) const;
+
+  /// Number of sub-databases worker `w` holds (for layout diagnostics).
+  [[nodiscard]] std::uint32_t held_by(ProcessorId w) const;
+
+  static std::uint32_t copies_for(std::uint32_t num_workers,
+                                  double replication_rate);
+
+ private:
+  Placement(std::uint32_t num_workers, double rate, std::uint32_t copies,
+            std::vector<AffinitySet> holders);
+
+  std::uint32_t num_workers_;
+  double rate_;
+  std::uint32_t copies_;
+  std::vector<AffinitySet> holders_;
+};
+
+}  // namespace rtds::db

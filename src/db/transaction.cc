@@ -1,0 +1,76 @@
+#include "db/transaction.h"
+
+#include <cmath>
+
+#include "common/error.h"
+
+namespace rtds::db {
+
+std::vector<Transaction> generate_transactions(
+    const GlobalDatabase& database, const TransactionWorkloadConfig& config,
+    Xoshiro256ss& rng) {
+  const DatabaseConfig& db = database.config();
+  const std::uint32_t max_preds =
+      config.max_predicates == 0 ? db.num_attributes : config.max_predicates;
+  RTDS_REQUIRE(max_preds <= db.num_attributes,
+               "generate_transactions: more predicates than attributes");
+
+  std::vector<Transaction> out;
+  out.reserve(config.num_transactions);
+  for (std::uint32_t i = 0; i < config.num_transactions; ++i) {
+    Transaction txn;
+    txn.id = i;
+    txn.subdb = static_cast<std::uint32_t>(
+        rng.uniform_int(0, std::int64_t(db.num_subdbs) - 1));
+
+    const auto num_preds = static_cast<std::uint32_t>(
+        rng.uniform_int(1, std::int64_t(max_preds)));
+    for (std::size_t attr : rng.sample_indices(db.num_attributes, num_preds)) {
+      Predicate p;
+      p.attribute = static_cast<std::uint32_t>(attr);
+      const auto offset = static_cast<std::uint32_t>(
+          rng.uniform_int(0, std::int64_t(db.domain_size) - 1));
+      p.value = database.encode(txn.subdb, p.attribute, offset);
+      txn.predicates.push_back(p);
+    }
+    out.push_back(std::move(txn));
+  }
+  return out;
+}
+
+Task to_task(const Transaction& txn, const GlobalDatabase& database,
+             const Placement& placement,
+             const TransactionWorkloadConfig& config, tasks::TaskId id) {
+  RTDS_REQUIRE(config.scaling_factor > 0.0, "to_task: SF must be positive");
+  RTDS_REQUIRE(config.deadline_multiplier > 0.0,
+               "to_task: deadline multiplier must be positive");
+  Task t;
+  t.id = id;
+  t.arrival = config.burst_arrival;
+  t.processing = database.estimate_cost(txn);
+  const double window = config.scaling_factor * config.deadline_multiplier *
+                        double(t.processing.us);
+  t.deadline = t.arrival + SimDuration{std::int64_t(std::llround(window))};
+  t.affinity = placement.holders(txn.subdb);
+  RTDS_ASSERT_MSG(!t.affinity.empty(), "sub-database with no holder");
+  if (config.fill_actual_costs) {
+    t.actual_processing = database.actual_cost(txn, config.query_mode);
+    RTDS_ASSERT(t.actual_processing <= t.processing);
+  }
+  return t;
+}
+
+std::vector<Task> to_tasks(const std::vector<Transaction>& txns,
+                           const GlobalDatabase& database,
+                           const Placement& placement,
+                           const TransactionWorkloadConfig& config) {
+  std::vector<Task> out;
+  out.reserve(txns.size());
+  tasks::TaskId id = config.first_task_id;
+  for (const Transaction& txn : txns) {
+    out.push_back(to_task(txn, database, placement, config, id++));
+  }
+  return out;
+}
+
+}  // namespace rtds::db

@@ -1,0 +1,76 @@
+// Transaction workload generation and the transaction -> real-time-task
+// adapter (Sec. 5.1).
+//
+// The paper's experiment design: 1000 transactions arrive in a single burst
+// at the host. Each transaction carries a uniformly distributed number of
+// attribute-value predicates, values picked equiprobably from their domains
+// (all from one sub-database, since domains are disjoint across
+// sub-databases). Deadlines are proportional to the estimated worst-case
+// processing time:
+//     Deadline(q) = SF * 10 * Estimated_Cost(q),   SF in [1, 3]
+// and the task's affinity set is the replica holder set of the
+// transaction's sub-database.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/time.h"
+#include "db/database.h"
+#include "db/placement.h"
+#include "tasks/task.h"
+
+namespace rtds::db {
+
+using tasks::Task;
+
+/// Parameters for generating the transaction stream.
+struct TransactionWorkloadConfig {
+  std::uint32_t num_transactions{1000};
+
+  /// Upper bound on the number of predicates per transaction; the count is
+  /// uniform in [1, max_predicates]. 0 means "number of attributes".
+  std::uint32_t max_predicates{0};
+
+  /// SF — the paper's laxity / deadline scaling factor (1 = tight,
+  /// 3 = loose).
+  double scaling_factor{1.0};
+
+  /// The fixed 10x in the paper's deadline formula.
+  double deadline_multiplier{10.0};
+
+  /// All transactions arrive in one burst at this time (Sec. 5.1).
+  SimTime burst_arrival{SimTime::zero()};
+
+  /// Resource-reclaiming extension: when true, each task also carries its
+  /// ACTUAL execution cost (obtained by executing the transaction under
+  /// `query_mode`), which a ReclaimMode::kReclaim cluster uses to start
+  /// queued work early. Schedulers always plan with the worst case.
+  bool fill_actual_costs{false};
+  QueryMode query_mode{QueryMode::kFirstMatch};
+
+  std::uint32_t first_task_id{0};
+};
+
+/// Generates the transaction stream. Predicate attributes are a distinct
+/// uniform sample; values are uniform over the chosen sub-database's
+/// domains.
+std::vector<Transaction> generate_transactions(
+    const GlobalDatabase& database, const TransactionWorkloadConfig& config,
+    Xoshiro256ss& rng);
+
+/// Converts one transaction into a schedulable real-time task:
+/// p = Estimated_Cost(q), d = arrival + SF * 10 * Estimated_Cost(q),
+/// affinity = holders of q's sub-database.
+Task to_task(const Transaction& txn, const GlobalDatabase& database,
+             const Placement& placement,
+             const TransactionWorkloadConfig& config, tasks::TaskId id);
+
+/// Converts the whole stream, sorted by arrival (all equal for a burst).
+std::vector<Task> to_tasks(const std::vector<Transaction>& txns,
+                           const GlobalDatabase& database,
+                           const Placement& placement,
+                           const TransactionWorkloadConfig& config);
+
+}  // namespace rtds::db

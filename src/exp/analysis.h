@@ -1,0 +1,46 @@
+// Post-run analysis of execution logs: lateness distributions and
+// per-worker load balance — the quantities behind the paper's qualitative
+// statements ("many processors remain idle while others are heavily
+// loaded", Sec. 3).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/histogram.h"
+#include "common/stats.h"
+#include "machine/cluster.h"
+
+namespace rtds::exp {
+
+/// Deadline-margin statistics over executed tasks. Margin = deadline - end
+/// (positive: finished early; negative: tardy — zero under the theorem).
+struct LatenessSummary {
+  std::uint64_t executed{0};
+  std::uint64_t hits{0};
+  std::uint64_t misses{0};
+  RunningStats margin_ms;       ///< over all executed tasks
+  RunningStats tardiness_ms;    ///< over misses only (positive values)
+
+  [[nodiscard]] std::string to_string() const;
+};
+
+LatenessSummary lateness_summary(
+    const std::vector<machine::CompletionRecord>& log);
+
+/// Histogram of deadline margins (ms) with symmetric bounds around zero.
+Histogram margin_histogram(
+    const std::vector<machine::CompletionRecord>& log, double half_range_ms,
+    std::size_t buckets = 20);
+
+/// Load-balance metrics over workers at the end of a run.
+struct BalanceSummary {
+  RunningStats busy_ms;  ///< per-worker busy time
+  double imbalance{0.0}; ///< (max - min) / max busy time; 0 = perfect
+  std::uint32_t idle_workers{0};  ///< workers that executed nothing
+};
+
+BalanceSummary balance_summary(const machine::Cluster& cluster);
+
+}  // namespace rtds::exp

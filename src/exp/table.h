@@ -1,0 +1,42 @@
+// Plain-text table and CSV emitters for the benchmark harness.
+//
+// Every figure/table bench prints (a) a fixed-width table mirroring the
+// paper's series and (b) an optional CSV block for downstream plotting.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace rtds::exp {
+
+/// Column-aligned text table. Cells are strings; the writer sizes columns.
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  void add_row(std::vector<std::string> cells);
+  [[nodiscard]] std::size_t rows() const { return rows_.size(); }
+
+  /// Renders with a header underline, columns padded to the widest cell.
+  void print(std::ostream& os) const;
+
+  /// Renders as CSV (header + rows), commas escaped by quoting.
+  void print_csv(std::ostream& os) const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a double with `digits` decimals.
+std::string fmt(double value, int digits = 3);
+
+/// Formats "mean ± ci" for a stats pair.
+std::string fmt_pm(double mean, double ci, int digits = 3);
+
+/// Formats a ratio as a percentage with one decimal, e.g. "73.4%".
+std::string fmt_pct(double ratio);
+
+}  // namespace rtds::exp

@@ -1,0 +1,88 @@
+#include "machine/cluster.h"
+
+#include "common/error.h"
+
+namespace rtds::machine {
+
+Cluster::Cluster(std::uint32_t num_workers, Interconnect interconnect,
+                 ReclaimMode reclaim)
+    : num_workers_(num_workers),
+      interconnect_(interconnect),
+      reclaim_(reclaim),
+      workers_(num_workers) {
+  RTDS_REQUIRE(num_workers >= 1, "Cluster: need >= 1 worker");
+  RTDS_REQUIRE(interconnect.num_workers() == num_workers,
+               "Cluster: interconnect sized for a different worker count");
+}
+
+void Cluster::deliver(const std::vector<ScheduledAssignment>& schedule,
+                      SimTime now) {
+  for (const ScheduledAssignment& sa : schedule) {
+    RTDS_REQUIRE(sa.worker < num_workers_, "deliver: bad worker id");
+    RTDS_REQUIRE(sa.task.effective_processing() <= sa.task.processing,
+                 "deliver: actual cost exceeds the worst-case estimate");
+    Worker& w = workers_[sa.worker];
+    const SimDuration comm =
+        interconnect_.comm_cost(sa.task.affinity, sa.worker);
+    const SimDuration demand = reclaim_ == ReclaimMode::kReclaim
+                                   ? sa.task.effective_processing()
+                                   : sa.task.processing;
+    reclaimed_ += sa.task.processing - demand;
+    SimTime start = w.busy_until < now ? now : w.busy_until;
+    if (sa.task.earliest_start > start) start = sa.task.earliest_start;
+    const SimTime end = start + demand + comm;
+    w.busy_until = end;
+    w.busy_time += demand + comm;
+
+    CompletionRecord rec;
+    rec.task = sa.task.id;
+    rec.worker = sa.worker;
+    rec.delivered = now;
+    rec.start = start;
+    rec.end = end;
+    rec.deadline = sa.task.deadline;
+    rec.comm_cost = comm;
+    log_.push_back(rec);
+
+    ++stats_.executed;
+    if (rec.met_deadline()) {
+      ++stats_.deadline_hits;
+    } else {
+      ++stats_.deadline_misses;
+    }
+  }
+}
+
+SimDuration Cluster::load(ProcessorId worker, SimTime t) const {
+  RTDS_REQUIRE(worker < num_workers_, "load: bad worker id");
+  const SimTime horizon = workers_[worker].busy_until;
+  return horizon <= t ? SimDuration::zero() : horizon - t;
+}
+
+SimDuration Cluster::min_load(SimTime t) const {
+  SimDuration best = SimDuration::max();
+  for (ProcessorId k = 0; k < num_workers_; ++k) {
+    best = min_duration(best, load(k, t));
+  }
+  return best;
+}
+
+SimTime Cluster::busy_until(ProcessorId worker) const {
+  RTDS_REQUIRE(worker < num_workers_, "busy_until: bad worker id");
+  return workers_[worker].busy_until;
+}
+
+SimTime Cluster::makespan() const {
+  SimTime latest = SimTime::zero();
+  for (const Worker& w : workers_) {
+    if (w.busy_until > latest) latest = w.busy_until;
+  }
+  return latest;
+}
+
+SimDuration Cluster::busy_time(ProcessorId worker) const {
+  RTDS_REQUIRE(worker < num_workers_, "busy_time: bad worker id");
+  return workers_[worker].busy_time;
+}
+
+}  // namespace rtds::machine

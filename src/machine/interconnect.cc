@@ -1,0 +1,61 @@
+#include "machine/interconnect.h"
+
+#include <cmath>
+
+#include "common/error.h"
+
+namespace rtds::machine {
+
+Interconnect::Interconnect(RoutingModel model, std::uint32_t num_workers,
+                           SimDuration cost)
+    : model_(model), num_workers_(num_workers), cost_(cost) {
+  RTDS_REQUIRE(num_workers >= 1, "Interconnect: need >= 1 worker");
+  RTDS_REQUIRE(num_workers <= AffinitySet::kMaxProcessors,
+               "Interconnect: too many workers");
+  RTDS_REQUIRE(!cost.is_negative(), "Interconnect: negative cost");
+  if (model_ == RoutingModel::kStoreAndForward) {
+    mesh_cols_ = static_cast<std::uint32_t>(
+        std::ceil(std::sqrt(double(num_workers))));
+  }
+}
+
+Interconnect Interconnect::cut_through(std::uint32_t num_workers,
+                                       SimDuration constant_cost) {
+  return Interconnect(RoutingModel::kCutThrough, num_workers, constant_cost);
+}
+
+Interconnect Interconnect::mesh(std::uint32_t num_workers,
+                                SimDuration per_hop_cost) {
+  return Interconnect(RoutingModel::kStoreAndForward, num_workers,
+                      per_hop_cost);
+}
+
+std::uint32_t Interconnect::manhattan(ProcessorId a, ProcessorId b) const {
+  const auto ax = a % mesh_cols_, ay = a / mesh_cols_;
+  const auto bx = b % mesh_cols_, by = b / mesh_cols_;
+  const auto dx = ax > bx ? ax - bx : bx - ax;
+  const auto dy = ay > by ? ay - by : by - ay;
+  return dx + dy;
+}
+
+SimDuration Interconnect::comm_cost(const AffinitySet& affinity,
+                                    ProcessorId target) const {
+  RTDS_REQUIRE(target < num_workers_, "comm_cost: worker id out of range");
+  RTDS_REQUIRE(!affinity.empty(), "comm_cost: task has no data holder");
+  if (affinity.contains(target)) return SimDuration::zero();
+  switch (model_) {
+    case RoutingModel::kCutThrough:
+      return cost_;
+    case RoutingModel::kStoreAndForward: {
+      std::uint32_t best = ~std::uint32_t{0};
+      for (ProcessorId holder : affinity.to_vector()) {
+        best = std::min(best, manhattan(holder, target));
+      }
+      return cost_ * std::int64_t(best);
+    }
+  }
+  RTDS_ASSERT_MSG(false, "unreachable routing model");
+  return SimDuration::zero();
+}
+
+}  // namespace rtds::machine

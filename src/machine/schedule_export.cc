@@ -1,0 +1,39 @@
+#include "machine/schedule_export.h"
+
+#include <iomanip>
+#include <ostream>
+#include <vector>
+
+#include "common/error.h"
+
+namespace rtds::machine {
+
+void write_completion_csv(const Cluster& cluster, std::ostream& os) {
+  os << "task,worker,delivered_us,start_us,end_us,deadline_us,comm_us,hit\n";
+  for (const CompletionRecord& r : cluster.log()) {
+    os << r.task << ',' << r.worker << ',' << r.delivered.us << ','
+       << r.start.us << ',' << r.end.us << ',' << r.deadline.us << ','
+       << r.comm_cost.us << ',' << (r.met_deadline() ? 1 : 0) << '\n';
+  }
+}
+
+void write_utilization_summary(const Cluster& cluster, SimTime horizon,
+                               std::ostream& os) {
+  RTDS_REQUIRE(horizon > SimTime::zero(),
+               "write_utilization_summary: horizon must be positive");
+  std::vector<std::uint64_t> executed(cluster.num_workers(), 0);
+  for (const CompletionRecord& r : cluster.log()) {
+    ++executed[r.worker];
+  }
+  os << "worker  busy(ms)  util%   tasks\n";
+  for (std::uint32_t k = 0; k < cluster.num_workers(); ++k) {
+    const SimDuration busy = cluster.busy_time(k);
+    const double util =
+        100.0 * double(busy.us) / double((horizon - SimTime::zero()).us);
+    os << std::left << std::setw(8) << k << std::setw(10) << std::fixed
+       << std::setprecision(1) << busy.millis() << std::setw(8) << util
+       << executed[k] << "\n";
+  }
+}
+
+}  // namespace rtds::machine

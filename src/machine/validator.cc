@@ -1,0 +1,127 @@
+#include "machine/validator.h"
+
+#include <sstream>
+#include <unordered_map>
+
+namespace rtds::machine {
+
+std::string ValidationReport::to_string() const {
+  std::ostringstream os;
+  for (const std::string& v : violations) os << v << "\n";
+  return os.str();
+}
+
+ValidationReport validate_execution(
+    const Cluster& cluster, const std::vector<tasks::Task>& workload) {
+  ValidationReport report;
+  const auto violate = [&](const std::string& what) {
+    report.violations.push_back(what);
+  };
+
+  std::unordered_map<tasks::TaskId, const tasks::Task*> by_id;
+  for (const tasks::Task& t : workload) {
+    if (!by_id.emplace(t.id, &t).second) {
+      violate("workload has duplicate task id " + std::to_string(t.id));
+    }
+  }
+
+  std::unordered_map<tasks::TaskId, int> executions;
+  std::vector<SimTime> worker_cursor(cluster.num_workers(),
+                                     SimTime::zero());
+  std::vector<SimDuration> worker_busy(cluster.num_workers(),
+                                       SimDuration::zero());
+
+  for (const CompletionRecord& rec : cluster.log()) {
+    ++report.records_checked;
+    const std::string tag = "task " + std::to_string(rec.task) + ": ";
+
+    const auto it = by_id.find(rec.task);
+    if (it == by_id.end()) {
+      violate(tag + "executed but not in the workload");
+      continue;
+    }
+    const tasks::Task& task = *it->second;
+
+    if (++executions[rec.task] > 1) {
+      violate(tag + "executed more than once");
+    }
+    if (rec.worker >= cluster.num_workers()) {
+      violate(tag + "bad worker id");
+      continue;
+    }
+
+    // Causality.
+    if (rec.start < rec.delivered) {
+      violate(tag + "started before its schedule was delivered");
+    }
+    if (rec.delivered < task.arrival) {
+      violate(tag + "scheduled before it arrived");
+    }
+    if (rec.start < task.earliest_start) {
+      violate(tag + "started before its start-time constraint");
+    }
+
+    // Communication pricing.
+    const SimDuration comm =
+        cluster.interconnect().comm_cost(task.affinity, rec.worker);
+    if (comm != rec.comm_cost) {
+      violate(tag + "communication cost mismatch: log " +
+              std::to_string(rec.comm_cost.us) + "us, interconnect " +
+              std::to_string(comm.us) + "us");
+    }
+
+    // Demand (non-preemptive: end - start is exactly demand + comm).
+    const SimDuration demand =
+        cluster.reclaim_mode() == ReclaimMode::kReclaim
+            ? task.effective_processing()
+            : task.processing;
+    // Non-preemptive execution: the span is exactly demand + comm once the
+    // task starts (start-time constraints insert idling BEFORE the start).
+    if (rec.end - rec.start != demand + comm) {
+      violate(tag + "execution span != demand + comm");
+    }
+
+    // Per-worker serialization in log order.
+    if (rec.start < worker_cursor[rec.worker]) {
+      violate(tag + "overlaps the previous task on worker " +
+              std::to_string(rec.worker));
+    }
+    worker_cursor[rec.worker] = rec.end;
+    worker_busy[rec.worker] += demand + comm;
+
+    // Deadline outcome.
+    if (rec.met_deadline() != (rec.end <= task.deadline)) {
+      violate(tag + "deadline flag inconsistent with task deadline");
+    }
+    if (rec.deadline != task.deadline) {
+      violate(tag + "logged deadline differs from the task's");
+    }
+  }
+
+  // Aggregate accounting.
+  for (std::uint32_t k = 0; k < cluster.num_workers(); ++k) {
+    if (cluster.busy_time(k) != worker_busy[k]) {
+      violate("worker " + std::to_string(k) +
+              " busy-time accounting mismatch");
+    }
+    if (cluster.busy_until(k) != worker_cursor[k] &&
+        worker_cursor[k] != SimTime::zero()) {
+      violate("worker " + std::to_string(k) + " busy-until mismatch");
+    }
+  }
+  const auto& stats = cluster.stats();
+  if (stats.executed != report.records_checked) {
+    violate("stats.executed != log size");
+  }
+  std::uint64_t hits = 0;
+  for (const CompletionRecord& rec : cluster.log()) {
+    if (rec.met_deadline()) ++hits;
+  }
+  if (stats.deadline_hits != hits ||
+      stats.deadline_misses != report.records_checked - hits) {
+    violate("hit/miss counters inconsistent with the log");
+  }
+  return report;
+}
+
+}  // namespace rtds::machine

@@ -1,0 +1,68 @@
+// Thread-safe bounded FIFO used as the host -> worker mailbox in the
+// threaded runtime. Blocking pop with close semantics: once closed and
+// drained, pop returns nullopt and the worker exits.
+#pragma once
+
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <utility>
+
+#include "common/error.h"
+
+namespace rtds::runtime {
+
+template <typename T>
+class BoundedQueue {
+ public:
+  explicit BoundedQueue(std::size_t capacity) : capacity_(capacity) {
+    RTDS_REQUIRE(capacity > 0, "BoundedQueue: capacity must be positive");
+  }
+
+  /// Blocks while full. Returns false if the queue was closed.
+  bool push(T value) {
+    std::unique_lock lock(mutex_);
+    not_full_.wait(lock,
+                   [&] { return closed_ || items_.size() < capacity_; });
+    if (closed_) return false;
+    items_.push_back(std::move(value));
+    not_empty_.notify_one();
+    return true;
+  }
+
+  /// Blocks while empty. Returns nullopt once closed and drained.
+  std::optional<T> pop() {
+    std::unique_lock lock(mutex_);
+    not_empty_.wait(lock, [&] { return closed_ || !items_.empty(); });
+    if (items_.empty()) return std::nullopt;
+    T out = std::move(items_.front());
+    items_.pop_front();
+    not_full_.notify_one();
+    return out;
+  }
+
+  /// Closes the queue: pending pops drain remaining items, then observe
+  /// nullopt; pushes fail.
+  void close() {
+    std::lock_guard lock(mutex_);
+    closed_ = true;
+    not_empty_.notify_all();
+    not_full_.notify_all();
+  }
+
+  [[nodiscard]] std::size_t size() const {
+    std::lock_guard lock(mutex_);
+    return items_.size();
+  }
+
+ private:
+  mutable std::mutex mutex_;
+  std::condition_variable not_empty_;
+  std::condition_variable not_full_;
+  std::deque<T> items_;
+  std::size_t capacity_;
+  bool closed_{false};
+};
+
+}  // namespace rtds::runtime

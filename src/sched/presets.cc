@@ -1,0 +1,82 @@
+#include "sched/presets.h"
+
+namespace rtds::sched {
+
+using search::Representation;
+using search::SearchConfig;
+using search::TaskOrder;
+
+std::unique_ptr<PhaseAlgorithm> make_rt_sads() {
+  SearchConfig cfg;
+  cfg.representation = Representation::kAssignmentOriented;
+  cfg.task_order = TaskOrder::kEarliestDeadline;
+  cfg.use_load_balance_cost = true;
+  return std::make_unique<TreeSearchAlgorithm>("RT-SADS", cfg);
+}
+
+std::unique_ptr<PhaseAlgorithm> make_rt_sads_no_cost_function(
+    search::ProcessorOrder order) {
+  SearchConfig cfg;
+  cfg.representation = Representation::kAssignmentOriented;
+  cfg.task_order = TaskOrder::kEarliestDeadline;
+  cfg.use_load_balance_cost = false;
+  cfg.processor_order = order;
+  const char* suffix = "";
+  switch (order) {
+    case search::ProcessorOrder::kIndexOrder:
+      suffix = "index";
+      break;
+    case search::ProcessorOrder::kMinEndOffset:
+      suffix = "min-end";
+      break;
+    case search::ProcessorOrder::kMinCommCost:
+      suffix = "min-comm";
+      break;
+  }
+  return std::make_unique<TreeSearchAlgorithm>(
+      std::string("RT-SADS/no-cost-") + suffix, cfg);
+}
+
+std::unique_ptr<PhaseAlgorithm> make_d_cols() {
+  SearchConfig cfg;
+  cfg.representation = Representation::kSequenceOriented;
+  cfg.task_order = TaskOrder::kEarliestDeadline;
+  // The sequence-oriented comparator orders branches by the EDF heuristic
+  // alone (the cost function of Sec. 4.4 is an RT-SADS feature).
+  cfg.use_load_balance_cost = false;
+  return std::make_unique<TreeSearchAlgorithm>("D-COLS", cfg);
+}
+
+std::unique_ptr<PhaseAlgorithm> make_d_cols_pruned(
+    std::uint32_t max_successors) {
+  SearchConfig cfg;
+  cfg.representation = Representation::kSequenceOriented;
+  cfg.task_order = TaskOrder::kEarliestDeadline;
+  cfg.use_load_balance_cost = false;
+  cfg.max_successors = max_successors;
+  return std::make_unique<TreeSearchAlgorithm>(
+      "D-COLS/b" + std::to_string(max_successors), cfg);
+}
+
+std::unique_ptr<PhaseAlgorithm> make_d_cols_least_loaded() {
+  SearchConfig cfg;
+  cfg.representation = Representation::kSequenceOriented;
+  cfg.task_order = TaskOrder::kEarliestDeadline;
+  cfg.use_load_balance_cost = false;
+  cfg.level_processor_order = search::LevelProcessorOrder::kLeastLoaded;
+  return std::make_unique<TreeSearchAlgorithm>("D-COLS/least-loaded", cfg);
+}
+
+std::unique_ptr<PhaseAlgorithm> make_edf_first_fit() {
+  return std::make_unique<GreedyAlgorithm>(GreedyKind::kEdfFirstFit);
+}
+
+std::unique_ptr<PhaseAlgorithm> make_edf_best_fit() {
+  return std::make_unique<GreedyAlgorithm>(GreedyKind::kEdfBestFit);
+}
+
+std::unique_ptr<PhaseAlgorithm> make_myopic(std::uint32_t window) {
+  return std::make_unique<GreedyAlgorithm>(GreedyKind::kMyopic, window);
+}
+
+}  // namespace rtds::sched

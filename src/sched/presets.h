@@ -1,0 +1,45 @@
+// Ready-made algorithm configurations matching the paper's evaluation.
+//
+//   * rt_sads()  — Sec. 4: assignment-oriented search, EDF task selection,
+//     load-balancing cost function (Sec. 4.4).
+//   * d_cols()   — Sec. 5.2: the sequence-oriented comparator, reconstructed
+//     from the paper's description of [2]: round-robin processor selection
+//     per level, EDF-ordered task branching, same feasibility test. Both
+//     algorithms receive the same quantum (the paper stresses this), so the
+//     only difference is the search representation.
+//   * the greedy baselines — not in the paper's figures, provided to
+//     situate the search schedulers (bench_baselines).
+#pragma once
+
+#include <memory>
+
+#include "sched/algorithm.h"
+
+namespace rtds::sched {
+
+/// RT-SADS phase algorithm (assignment-oriented representation, Fig. 2).
+std::unique_ptr<PhaseAlgorithm> make_rt_sads();
+
+/// RT-SADS variant without the load-balancing cost function: successors
+/// ordered by the processor-order heuristic only (ablation ABL-H).
+std::unique_ptr<PhaseAlgorithm> make_rt_sads_no_cost_function(
+    search::ProcessorOrder order = search::ProcessorOrder::kMinEndOffset);
+
+/// D-COLS phase algorithm (sequence-oriented representation, Fig. 1).
+std::unique_ptr<PhaseAlgorithm> make_d_cols();
+
+/// D-COLS variant with a successor cap (the "limited backtracking" pruning
+/// the paper says dynamic sequence-oriented algorithms are forced to use).
+std::unique_ptr<PhaseAlgorithm> make_d_cols_pruned(
+    std::uint32_t max_successors);
+
+/// D-COLS variant whose level processor is the least-loaded worker instead
+/// of round-robin (the paper's "heuristic function can be applied to
+/// affect this order"); ablation ABL-H.
+std::unique_ptr<PhaseAlgorithm> make_d_cols_least_loaded();
+
+std::unique_ptr<PhaseAlgorithm> make_edf_first_fit();
+std::unique_ptr<PhaseAlgorithm> make_edf_best_fit();
+std::unique_ptr<PhaseAlgorithm> make_myopic(std::uint32_t window = 5);
+
+}  // namespace rtds::sched

@@ -1,0 +1,50 @@
+#include "sched/quantum.h"
+
+#include "common/error.h"
+
+namespace rtds::sched {
+
+SelfAdjustingQuantum::SelfAdjustingQuantum(SimDuration min_quantum,
+                                           SimDuration max_quantum)
+    : min_quantum_(min_quantum), max_quantum_(max_quantum) {
+  RTDS_REQUIRE(min_quantum > SimDuration::zero(),
+               "SelfAdjustingQuantum: min_quantum must be positive");
+  RTDS_REQUIRE(min_quantum <= max_quantum,
+               "SelfAdjustingQuantum: min_quantum > max_quantum");
+}
+
+SimDuration SelfAdjustingQuantum::allocate(SimDuration min_slack,
+                                           SimDuration min_load) const {
+  return clamp_duration(max_duration(min_slack, min_load), min_quantum_,
+                        max_quantum_);
+}
+
+std::string SelfAdjustingQuantum::name() const {
+  return "self-adjusting[" + std::to_string(min_quantum_.us) + "us," +
+         std::to_string(max_quantum_.us) + "us]";
+}
+
+FixedQuantum::FixedQuantum(SimDuration quantum) : quantum_(quantum) {
+  RTDS_REQUIRE(quantum > SimDuration::zero(),
+               "FixedQuantum: quantum must be positive");
+}
+
+SimDuration FixedQuantum::allocate(SimDuration /*min_slack*/,
+                                   SimDuration /*min_load*/) const {
+  return quantum_;
+}
+
+std::string FixedQuantum::name() const {
+  return "fixed[" + std::to_string(quantum_.us) + "us]";
+}
+
+std::unique_ptr<QuantumPolicy> make_self_adjusting_quantum(
+    SimDuration min_quantum, SimDuration max_quantum) {
+  return std::make_unique<SelfAdjustingQuantum>(min_quantum, max_quantum);
+}
+
+std::unique_ptr<QuantumPolicy> make_fixed_quantum(SimDuration quantum) {
+  return std::make_unique<FixedQuantum>(quantum);
+}
+
+}  // namespace rtds::sched

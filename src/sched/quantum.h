@@ -1,0 +1,73 @@
+// Allocation of scheduling time (Sec. 4.2, Fig. 3).
+//
+// RT-SADS self-adjusts the duration Q_s(j) of each scheduling phase:
+//     Q_s(j) <= max(Min_Slack, Min_Load)
+// where Min_Slack is the smallest slack over the batch (so no pending task's
+// deadline is violated by scheduling cost alone) and Min_Load is the
+// smallest residual load over the working processors (if every pending task
+// would have to wait at least Min_Load anyway, scheduling may run that long
+// without making anything worse, buying optimization time; conversely when a
+// worker is about to go idle the quantum shrinks to feed it sooner).
+//
+// The paper leaves the lower bound implicit; a quantum of zero would let a
+// phase generate zero vertices and make no progress, so implementations
+// clamp Q_s to [min_quantum, max_quantum].
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "common/time.h"
+
+namespace rtds::sched {
+
+/// Strategy deciding the duration of each scheduling phase.
+class QuantumPolicy {
+ public:
+  virtual ~QuantumPolicy() = default;
+
+  /// Returns Q_s(j) given the phase inputs: Min_Slack over Batch(j) at the
+  /// phase start and Min_Load over the workers at the phase start.
+  /// `min_slack` is never negative (unreachable tasks are culled first).
+  [[nodiscard]] virtual SimDuration allocate(SimDuration min_slack,
+                                             SimDuration min_load) const = 0;
+
+  [[nodiscard]] virtual std::string name() const = 0;
+};
+
+/// The paper's self-adjusting criterion (Fig. 3), clamped to
+/// [min_quantum, max_quantum].
+class SelfAdjustingQuantum final : public QuantumPolicy {
+ public:
+  SelfAdjustingQuantum(SimDuration min_quantum, SimDuration max_quantum);
+
+  [[nodiscard]] SimDuration allocate(SimDuration min_slack,
+                                     SimDuration min_load) const override;
+  [[nodiscard]] std::string name() const override;
+
+  [[nodiscard]] SimDuration min_quantum() const { return min_quantum_; }
+  [[nodiscard]] SimDuration max_quantum() const { return max_quantum_; }
+
+ private:
+  SimDuration min_quantum_;
+  SimDuration max_quantum_;
+};
+
+/// Ablation baseline: a fixed quantum regardless of slack or load.
+class FixedQuantum final : public QuantumPolicy {
+ public:
+  explicit FixedQuantum(SimDuration quantum);
+
+  [[nodiscard]] SimDuration allocate(SimDuration min_slack,
+                                     SimDuration min_load) const override;
+  [[nodiscard]] std::string name() const override;
+
+ private:
+  SimDuration quantum_;
+};
+
+std::unique_ptr<QuantumPolicy> make_self_adjusting_quantum(
+    SimDuration min_quantum = msec(1), SimDuration max_quantum = msec(100));
+std::unique_ptr<QuantumPolicy> make_fixed_quantum(SimDuration quantum);
+
+}  // namespace rtds::sched

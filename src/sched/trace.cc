@@ -1,0 +1,27 @@
+#include "sched/trace.h"
+
+#include <ostream>
+
+namespace rtds::sched {
+
+void PhaseTraceRecorder::on_phase(const PhaseRecord& record) {
+  records_.push_back(record);
+}
+
+void PhaseTraceRecorder::write_csv(std::ostream& os) const {
+  os << "phase,start_us,end_us,batch,arrivals,culled,min_slack_us,"
+        "min_load_us,quantum_us,budget,vertices,expansions,backtracks,"
+        "max_depth,dead_end,leaf,budget_exhausted,scheduled\n";
+  for (const PhaseRecord& r : records_) {
+    os << r.index << ',' << r.start.us << ',' << r.end.us << ','
+       << r.batch_size << ',' << r.arrivals << ',' << r.culled << ','
+       << r.min_slack.us << ',' << r.min_load.us << ',' << r.quantum.us
+       << ',' << r.vertex_budget << ',' << r.search.vertices_generated << ','
+       << r.search.expansions << ',' << r.search.backtracks << ','
+       << r.search.max_depth << ',' << (r.search.dead_end ? 1 : 0) << ','
+       << (r.search.reached_leaf ? 1 : 0) << ','
+       << (r.search.budget_exhausted ? 1 : 0) << ',' << r.scheduled << '\n';
+  }
+}
+
+}  // namespace rtds::sched

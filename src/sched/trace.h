@@ -1,0 +1,63 @@
+// Phase-level observability for the scheduling pipeline.
+//
+// A PhaseObserver receives one PhaseRecord per scheduling phase: the batch
+// state, the Fig. 3 quantum inputs and allocation, the vertex budget, the
+// search statistics and the outcome. PhaseTraceRecorder keeps them all and
+// can render a CSV trace; it is how the examples and the EXPERIMENTS
+// notebook look inside a run without recompiling the driver.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <vector>
+
+#include "common/time.h"
+#include "search/engine.h"
+
+namespace rtds::sched {
+
+/// Everything that happened in one scheduling phase.
+struct PhaseRecord {
+  std::uint64_t index{0};
+  SimTime start{SimTime::zero()};
+  SimTime end{SimTime::zero()};
+
+  std::uint64_t batch_size{0};  ///< after merge + cull, before scheduling
+  std::uint64_t arrivals{0};    ///< tasks merged at this phase start
+  std::uint64_t culled{0};      ///< tasks dropped as unreachable
+
+  SimDuration min_slack{SimDuration::zero()};  ///< Min_Slack (Fig. 3)
+  SimDuration min_load{SimDuration::zero()};   ///< Min_Load (Fig. 3)
+  SimDuration quantum{SimDuration::zero()};    ///< Q_s(j), after clamping
+  std::uint64_t vertex_budget{0};
+
+  search::SearchStats search;
+  std::uint64_t scheduled{0};  ///< assignments delivered by this phase
+};
+
+/// Callback interface; implementations must not throw.
+class PhaseObserver {
+ public:
+  virtual ~PhaseObserver() = default;
+  virtual void on_phase(const PhaseRecord& record) = 0;
+};
+
+/// Accumulating observer with CSV export.
+class PhaseTraceRecorder final : public PhaseObserver {
+ public:
+  void on_phase(const PhaseRecord& record) override;
+
+  [[nodiscard]] const std::vector<PhaseRecord>& records() const {
+    return records_;
+  }
+  [[nodiscard]] bool empty() const { return records_.empty(); }
+  void clear() { records_.clear(); }
+
+  /// One CSV row per phase (header included).
+  void write_csv(std::ostream& os) const;
+
+ private:
+  std::vector<PhaseRecord> records_;
+};
+
+}  // namespace rtds::sched

@@ -1,0 +1,358 @@
+#include "search/engine.h"
+
+#include <algorithm>
+#include <tuple>
+
+#include "common/error.h"
+
+namespace rtds::search {
+
+namespace {
+
+/// A generated vertex kept in the search arena. `parent` is an index into
+/// the arena, or -1 for children of the root.
+struct Node {
+  std::int32_t parent{-1};
+  std::uint32_t depth{0};  ///< number of assignments on the path to here
+  /// Assignment-oriented task-scan resume point: tasks before this index in
+  /// the consideration order are either assigned on this path or were
+  /// proven unplaceable at an ancestor (and stay so, since queue offsets
+  /// only grow along a path).
+  std::uint32_t order_cursor{0};
+  Assignment assignment;
+};
+
+/// A feasible successor awaiting insertion into CL, with its sort key.
+/// Lower keys are higher priority (front of CL).
+struct Candidate {
+  Assignment assignment;
+  std::int64_t key1{0};
+  std::int64_t key2{0};
+  std::uint32_t key3{0};
+
+  bool operator<(const Candidate& o) const {
+    return std::tie(key1, key2, key3) < std::tie(o.key1, o.key2, o.key3);
+  }
+};
+
+/// The candidate list CL. Depth-first consumes it as a stack (successor
+/// groups are pushed best-on-top, Sec. 4.1); best-first always surfaces the
+/// globally cheapest candidate (heap keyed by the candidate sort key, FIFO
+/// among equals).
+class CandidateList {
+ public:
+  explicit CandidateList(SearchStrategy strategy) : strategy_(strategy) {}
+
+  [[nodiscard]] bool empty() const { return entries_.empty(); }
+
+  /// Depth-first callers must push a successor group in reverse priority
+  /// order (worst first) so the best ends on top.
+  void push(const Candidate& c, std::int32_t node) {
+    entries_.push_back(Entry{c.key1, c.key2, c.key3, seq_++, node});
+    if (strategy_ == SearchStrategy::kBestFirst) {
+      std::push_heap(entries_.begin(), entries_.end(), BestOnTop{});
+    }
+  }
+
+  std::int32_t pop() {
+    RTDS_ASSERT(!entries_.empty());
+    if (strategy_ == SearchStrategy::kBestFirst) {
+      std::pop_heap(entries_.begin(), entries_.end(), BestOnTop{});
+    }
+    const std::int32_t node = entries_.back().node;
+    entries_.pop_back();
+    return node;
+  }
+
+ private:
+  struct Entry {
+    std::int64_t k1;
+    std::int64_t k2;
+    std::uint32_t k3;
+    std::uint64_t seq;
+    std::int32_t node;
+  };
+  /// Heap "less": an entry is smaller when its key is LARGER (so the heap
+  /// top is the cheapest candidate; earlier seq wins ties — FIFO).
+  struct BestOnTop {
+    bool operator()(const Entry& a, const Entry& b) const {
+      return std::tie(a.k1, a.k2, a.k3, a.seq) >
+             std::tie(b.k1, b.k2, b.k3, b.seq);
+    }
+  };
+
+  SearchStrategy strategy_;
+  std::uint64_t seq_{0};
+  std::vector<Entry> entries_;
+};
+
+}  // namespace
+
+std::vector<std::uint32_t> task_consideration_order(
+    const std::vector<Task>& batch, TaskOrder order) {
+  std::vector<std::uint32_t> idx(batch.size());
+  for (std::uint32_t i = 0; i < batch.size(); ++i) idx[i] = i;
+  switch (order) {
+    case TaskOrder::kBatchOrder:
+      break;
+    case TaskOrder::kEarliestDeadline:
+      std::stable_sort(idx.begin(), idx.end(),
+                       [&](std::uint32_t a, std::uint32_t b) {
+                         return batch[a].deadline < batch[b].deadline;
+                       });
+      break;
+    case TaskOrder::kMinSlack:
+      // Slack ordering (d - t - p) is time-independent within a phase:
+      // compare d - p.
+      std::stable_sort(idx.begin(), idx.end(),
+                       [&](std::uint32_t a, std::uint32_t b) {
+                         return batch[a].deadline - batch[a].processing <
+                                batch[b].deadline - batch[b].processing;
+                       });
+      break;
+  }
+  return idx;
+}
+
+SearchEngine::SearchEngine(SearchConfig config) : config_(config) {}
+
+SearchResult SearchEngine::run(const std::vector<Task>& batch,
+                               std::vector<SimDuration> base_loads,
+                               SimTime delivery_time,
+                               const machine::Interconnect& net,
+                               std::uint64_t vertex_budget) const {
+  SearchResult result;
+  if (batch.empty() || vertex_budget == 0) return result;
+
+  const auto n = static_cast<std::uint32_t>(batch.size());
+  const std::uint32_t m = net.num_workers();
+  const std::vector<std::uint32_t> order =
+      task_consideration_order(batch, config_.task_order);
+
+  PartialSchedule ps(&batch, std::move(base_loads), delivery_time, &net);
+
+  std::vector<Node> arena;
+  arena.reserve(std::min<std::uint64_t>(vertex_budget, 1u << 20));
+  CandidateList cl(config_.strategy);
+
+  SearchStats& stats = result.stats;
+  std::uint64_t budget_left = vertex_budget;
+
+  std::int32_t current = -1;  // arena index of the vertex CPS ends at
+  std::int32_t best_node = -1;
+  std::uint32_t best_depth = 0;
+  SimDuration best_ce = SimDuration::max();
+
+  const auto node_depth = [&](std::int32_t id) -> std::uint32_t {
+    return id < 0 ? 0u : arena[std::size_t(id)].depth;
+  };
+
+  // Computes the CL sort key for a feasible assignment at the current CPS.
+  const auto make_candidate = [&](const Assignment& a,
+                                  std::uint32_t branch_index) {
+    Candidate c;
+    c.assignment = a;
+    if (config_.use_load_balance_cost) {
+      // Resulting CE of the extended schedule (Sec. 4.4), tie-broken by the
+      // task's own completion and the branch order.
+      c.key1 = max_duration(ps.max_ce(), a.end_offset).us;
+      c.key2 = a.end_offset.us;
+      c.key3 = branch_index;
+    } else if (config_.representation == Representation::kAssignmentOriented) {
+      switch (config_.processor_order) {
+        case ProcessorOrder::kIndexOrder:
+          c.key1 = a.worker;
+          break;
+        case ProcessorOrder::kMinEndOffset:
+          c.key1 = a.end_offset.us;
+          c.key2 = a.worker;
+          break;
+        case ProcessorOrder::kMinCommCost:
+          c.key1 = (a.exec_cost - batch[a.task_index].processing).us;
+          c.key2 = a.end_offset.us;
+          c.key3 = a.worker;
+          break;
+      }
+    } else {
+      // Sequence-oriented: tasks were generated in heuristic order already.
+      c.key1 = branch_index;
+    }
+    return c;
+  };
+
+  // Expands the current vertex: generates successors (charging the vertex
+  // budget for every generation, feasible or not), sorts the feasible ones,
+  // and pushes them onto CL best-on-top. Returns the order cursor children
+  // inherit (assignment-oriented only).
+  std::vector<Candidate> candidates;
+  const auto expand_current = [&](std::uint32_t cursor) -> std::uint32_t {
+    ++stats.expansions;
+    candidates.clear();
+    const std::uint32_t depth = ps.depth();
+    if (config_.max_depth != 0 && depth >= config_.max_depth) {
+      return cursor;  // depth-pruned: no successors
+    }
+
+    if (config_.representation == Representation::kAssignmentOriented) {
+      // Select the next task by the (static) task-order heuristic, branch
+      // over every processor (Fig. 2). Tasks with no feasible placement
+      // are skipped (see SearchConfig::skip_unplaceable_tasks) — their
+      // infeasibility holds for the whole subtree, so children resume the
+      // scan at the cursor this expansion returns.
+      std::uint32_t scan = cursor;
+      while (scan < n) {
+        // Find the next unassigned task at or after `scan`.
+        while (scan < n && ps.assigned(order[scan])) ++scan;
+        if (scan == n) break;
+        const std::uint32_t task = order[scan];
+        for (std::uint32_t k = 0; k < m; ++k) {
+          if (budget_left == 0) {
+            stats.budget_exhausted = true;
+            break;
+          }
+          --budget_left;
+          ++stats.vertices_generated;
+          if (auto a = ps.evaluate(task, k)) {
+            candidates.push_back(make_candidate(*a, k));
+            if (config_.max_successors != 0 &&
+                candidates.size() >= config_.max_successors) {
+              break;
+            }
+          }
+        }
+        if (!candidates.empty() || stats.budget_exhausted ||
+            !config_.skip_unplaceable_tasks) {
+          break;
+        }
+        ++scan;  // task unplaceable in this whole subtree: skip it
+      }
+      cursor = scan;
+    } else {
+      // Select the level's processor (round-robin per Fig. 1, or the
+      // least-loaded-first heuristic the paper allows), branch over every
+      // unassigned task in heuristic order. When the level's processor
+      // admits no feasible task, skip_saturated_processors moves on to the
+      // next processor in the same order (every evaluation still charged).
+      std::vector<ProcessorId> level_order(m);
+      for (std::uint32_t k = 0; k < m; ++k) {
+        level_order[k] = (depth + k) % m;
+      }
+      if (config_.level_processor_order ==
+          LevelProcessorOrder::kLeastLoaded) {
+        std::stable_sort(level_order.begin(), level_order.end(),
+                         [&](ProcessorId a, ProcessorId b) {
+                           return ps.ce(a) < ps.ce(b);
+                         });
+      }
+      const std::uint32_t max_rotations =
+          config_.skip_saturated_processors ? m : 1;
+      for (std::uint32_t rot = 0; rot < max_rotations; ++rot) {
+        const ProcessorId worker = level_order[rot];
+        std::uint32_t branch = 0;
+        for (std::uint32_t i : order) {
+          if (ps.assigned(i)) continue;
+          if (budget_left == 0) {
+            stats.budget_exhausted = true;
+            break;
+          }
+          --budget_left;
+          ++stats.vertices_generated;
+          if (auto a = ps.evaluate(i, worker)) {
+            candidates.push_back(make_candidate(*a, branch));
+            if (config_.max_successors != 0 &&
+                candidates.size() >= config_.max_successors) {
+              break;
+            }
+          }
+          ++branch;
+        }
+        if (!candidates.empty() || stats.budget_exhausted) break;
+      }
+    }
+
+    std::stable_sort(candidates.begin(), candidates.end());
+    // Push worst-first so the best candidate ends on top of the stack
+    // (front of CL).
+    for (auto it = candidates.rbegin(); it != candidates.rend(); ++it) {
+      Node node;
+      node.parent = current;
+      node.depth = ps.depth() + 1;
+      node.order_cursor = cursor;
+      node.assignment = it->assignment;
+      arena.push_back(node);
+      cl.push(*it, static_cast<std::int32_t>(arena.size() - 1));
+    }
+    return cursor;
+  };
+
+  // Switches CPS from `current` to arena vertex `target` via their lowest
+  // common ancestor.
+  std::vector<const Assignment*> chain;
+  const auto switch_to = [&](std::int32_t target) {
+    chain.clear();
+    std::int32_t a = current;
+    std::int32_t b = target;
+    while (node_depth(b) > node_depth(a)) {
+      chain.push_back(&arena[std::size_t(b)].assignment);
+      b = arena[std::size_t(b)].parent;
+    }
+    while (node_depth(a) > node_depth(b)) {
+      ps.pop();
+      a = arena[std::size_t(a)].parent;
+    }
+    while (a != b) {
+      ps.pop();
+      a = arena[std::size_t(a)].parent;
+      chain.push_back(&arena[std::size_t(b)].assignment);
+      b = arena[std::size_t(b)].parent;
+    }
+    for (auto it = chain.rbegin(); it != chain.rend(); ++it) {
+      ps.push(**it);
+    }
+    current = target;
+  };
+
+  while (true) {
+    if (budget_left == 0) {
+      stats.budget_exhausted = true;
+      break;
+    }
+    expand_current(current < 0 ? 0u
+                               : arena[std::size_t(current)].order_cursor);
+    if (cl.empty()) {
+      if (!ps.complete()) stats.dead_end = true;
+      break;
+    }
+    const std::int32_t next = cl.pop();
+    if (arena[std::size_t(next)].parent != current) ++stats.backtracks;
+    switch_to(next);
+
+    if (ps.depth() > stats.max_depth) stats.max_depth = ps.depth();
+    const bool deeper = ps.depth() > best_depth;
+    const bool same_depth_better =
+        ps.depth() == best_depth && ps.max_ce() < best_ce;
+    if (best_node == -1 || deeper || same_depth_better) {
+      best_node = current;
+      best_depth = ps.depth();
+      best_ce = ps.max_ce();
+    }
+
+    if (ps.complete()) {
+      stats.reached_leaf = true;
+      break;
+    }
+  }
+
+  // Choose the returned path: the deepest (then best-balanced) vertex seen,
+  // or the vertex where the search stopped.
+  const std::int32_t chosen = config_.return_deepest ? best_node : current;
+  std::vector<Assignment> out;
+  for (std::int32_t v = chosen; v >= 0; v = arena[std::size_t(v)].parent) {
+    out.push_back(arena[std::size_t(v)].assignment);
+  }
+  std::reverse(out.begin(), out.end());
+  result.schedule = std::move(out);
+  return result;
+}
+
+}  // namespace rtds::search

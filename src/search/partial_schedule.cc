@@ -1,0 +1,79 @@
+#include "search/partial_schedule.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+
+namespace rtds::search {
+
+PartialSchedule::PartialSchedule(const std::vector<Task>* batch,
+                                 std::vector<SimDuration> base_loads,
+                                 SimTime delivery_time,
+                                 const machine::Interconnect* net)
+    : batch_(batch),
+      net_(net),
+      delivery_time_(delivery_time),
+      base_loads_(std::move(base_loads)),
+      assigned_(batch->size(), false) {
+  RTDS_REQUIRE(batch_ != nullptr && net_ != nullptr,
+               "PartialSchedule: null batch or interconnect");
+  RTDS_REQUIRE(base_loads_.size() == net_->num_workers(),
+               "PartialSchedule: base_loads size != worker count");
+  for (SimDuration d : base_loads_) {
+    RTDS_REQUIRE(!d.is_negative(), "PartialSchedule: negative base load");
+  }
+  ce_ = base_loads_;
+  max_ce_ = SimDuration::zero();
+  for (SimDuration d : ce_) max_ce_ = max_duration(max_ce_, d);
+  path_.reserve(batch->size());
+}
+
+std::optional<Assignment> PartialSchedule::evaluate(
+    std::uint32_t task_index, ProcessorId worker) const {
+  RTDS_REQUIRE(task_index < batch_->size(), "evaluate: bad task index");
+  RTDS_REQUIRE(worker < net_->num_workers(), "evaluate: bad worker id");
+  RTDS_REQUIRE(!assigned_[task_index], "evaluate: task already assigned");
+
+  const Task& t = (*batch_)[task_index];
+  Assignment a;
+  a.task_index = task_index;
+  a.worker = worker;
+  a.exec_cost = t.processing + net_->comm_cost(t.affinity, worker);
+  a.prev_ce = ce_[worker];
+  // Execution cannot start before the task's start-time constraint; the
+  // worker idles until then (footnote 1 task model).
+  a.start_offset = a.prev_ce;
+  if (t.earliest_start > delivery_time_) {
+    a.start_offset =
+        max_duration(a.start_offset, t.earliest_start - delivery_time_);
+  }
+  a.end_offset = a.start_offset + a.exec_cost;
+
+  // Fig. 4: t_c + RQ_s(j) + se_lk <= d_l, with t_c + RQ_s == delivery_time.
+  if (delivery_time_ + a.end_offset > t.deadline) return std::nullopt;
+  return a;
+}
+
+void PartialSchedule::push(const Assignment& a) {
+  RTDS_ASSERT(!assigned_[a.task_index]);
+  RTDS_ASSERT(a.worker < ce_.size());
+  // Integrity: the assignment must have been evaluated at this exact state.
+  RTDS_ASSERT(ce_[a.worker] == a.prev_ce);
+  assigned_[a.task_index] = true;
+  ce_[a.worker] = a.end_offset;
+  max_ce_ = max_duration(max_ce_, ce_[a.worker]);
+  path_.push_back(a);
+}
+
+void PartialSchedule::pop() {
+  RTDS_REQUIRE(!path_.empty(), "pop: empty path");
+  const Assignment a = path_.back();
+  path_.pop_back();
+  assigned_[a.task_index] = false;
+  ce_[a.worker] = a.prev_ce;
+  // max_ce must be recomputed: the popped assignment may have defined it.
+  max_ce_ = SimDuration::zero();
+  for (SimDuration d : ce_) max_ce_ = max_duration(max_ce_, d);
+}
+
+}  // namespace rtds::search

@@ -1,0 +1,104 @@
+// Partial schedules and the predictive feasibility test (Sec. 3, 4.1, 4.3).
+//
+// A partial schedule CPS is a path from the root of the task-space tree G:
+// an ordered list of task-to-processor assignments. This class maintains the
+// incremental state the search needs at the current vertex:
+//   * ce_k — the completion offset of each worker's queue, measured from the
+//     moment the schedule will be delivered (Sec. 4.4):
+//       ce_k = max(0, Load_k(j-1) - Q_s(j)) + Σ (p_l + c_lk)
+//   * the set of tasks already assigned on this path;
+//   * CE = max_k ce_k, the load-balancing cost function.
+//
+// The feasibility test (Fig. 4) for adding (T_l -> P_k):
+//     t_c + RQ_s(j) + se_lk <= d_l
+// Because t_c + RQ_s(j) == t_s + Q_s(j) — the planned delivery time of the
+// schedule — the test reduces to  delivery_time + se_lk <= d_l, where se_lk
+// is T_l's end offset in P_k's queue. This is exactly the bound used in the
+// paper's correction theorem, and it is what makes scheduled tasks immune to
+// scheduling overhead: the whole quantum is charged up front.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "common/time.h"
+#include "machine/interconnect.h"
+#include "tasks/task.h"
+
+namespace rtds::search {
+
+using tasks::ProcessorId;
+using tasks::Task;
+
+/// One task-to-processor assignment (a vertex of G).
+struct Assignment {
+  std::uint32_t task_index{0};  ///< index into the phase's batch snapshot
+  ProcessorId worker{0};
+  SimDuration exec_cost{SimDuration::zero()};  ///< p_l + c_lk
+  /// Queue offset of the worker when this assignment was evaluated — the
+  /// undo value for backtracking (start-time constraints can insert idle
+  /// gaps, so popping cannot simply subtract exec_cost).
+  SimDuration prev_ce{SimDuration::zero()};
+  SimDuration start_offset{SimDuration::zero()};  ///< from delivery time
+  SimDuration end_offset{SimDuration::zero()};    ///< se_lk, from delivery
+};
+
+/// Mutable path state for depth-first search with backtracking.
+class PartialSchedule {
+ public:
+  /// `batch` must outlive this object. `base_loads[k]` is the worker's
+  /// residual load at delivery time: max(0, Load_k(j-1) - Q_s(j)).
+  /// `delivery_time` is t_s + Q_s(j), the time the schedule will reach the
+  /// ready queues. `net` prices c_lk.
+  PartialSchedule(const std::vector<Task>* batch,
+                  std::vector<SimDuration> base_loads, SimTime delivery_time,
+                  const machine::Interconnect* net);
+
+  [[nodiscard]] std::uint32_t depth() const {
+    return static_cast<std::uint32_t>(path_.size());
+  }
+  [[nodiscard]] std::uint32_t batch_size() const {
+    return static_cast<std::uint32_t>(batch_->size());
+  }
+  [[nodiscard]] bool complete() const { return depth() == batch_size(); }
+  [[nodiscard]] bool assigned(std::uint32_t task_index) const {
+    return assigned_[task_index];
+  }
+  [[nodiscard]] SimTime delivery_time() const { return delivery_time_; }
+
+  /// Completion offset of worker k's queue (from delivery time).
+  [[nodiscard]] SimDuration ce(ProcessorId k) const { return ce_[k]; }
+
+  /// CE — the load-balancing cost of this partial schedule (Sec. 4.4):
+  /// the maximum completion offset over all workers.
+  [[nodiscard]] SimDuration max_ce() const { return max_ce_; }
+
+  /// Evaluates the candidate vertex (T_l -> P_k): computes cost and end
+  /// offset, and applies the feasibility test of Fig. 4. Returns nullopt
+  /// when infeasible. Does not modify the schedule.
+  [[nodiscard]] std::optional<Assignment> evaluate(
+      std::uint32_t task_index, ProcessorId worker) const;
+
+  /// Extends the path by `a` (which must have come from evaluate() at the
+  /// current state).
+  void push(const Assignment& a);
+
+  /// Undoes the most recent assignment (backtracking).
+  void pop();
+
+  /// Assignments along the current path, in path order.
+  [[nodiscard]] const std::vector<Assignment>& path() const { return path_; }
+
+ private:
+  const std::vector<Task>* batch_;
+  const machine::Interconnect* net_;
+  SimTime delivery_time_;
+  std::vector<SimDuration> base_loads_;
+  std::vector<SimDuration> ce_;
+  SimDuration max_ce_{SimDuration::zero()};
+  std::vector<bool> assigned_;
+  std::vector<Assignment> path_;
+};
+
+}  // namespace rtds::search

@@ -1,0 +1,53 @@
+#include "tasks/batch.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+
+namespace rtds::tasks {
+
+void Batch::merge_arrivals(const std::vector<Task>& arrived) {
+  for (const Task& t : arrived) {
+    const bool inserted = ids_.insert(t.id).second;
+    RTDS_REQUIRE(inserted, "Batch: duplicate task id merged");
+    tasks_.push_back(t);
+  }
+}
+
+void Batch::remove_scheduled(const std::unordered_set<TaskId>& scheduled_ids) {
+  if (scheduled_ids.empty()) return;
+  auto removed = std::remove_if(tasks_.begin(), tasks_.end(),
+                                [&](const Task& t) {
+                                  return scheduled_ids.count(t.id) > 0;
+                                });
+  for (auto it = removed; it != tasks_.end(); ++it) ids_.erase(it->id);
+  tasks_.erase(removed, tasks_.end());
+}
+
+std::vector<Task> Batch::cull_missed(SimTime t) {
+  std::vector<Task> culled;
+  auto keep_end = std::stable_partition(
+      tasks_.begin(), tasks_.end(),
+      [&](const Task& task) { return !task.deadline_unreachable(t); });
+  culled.assign(keep_end, tasks_.end());
+  for (const Task& task : culled) ids_.erase(task.id);
+  tasks_.erase(keep_end, tasks_.end());
+  return culled;
+}
+
+SimDuration Batch::min_slack(SimTime t) const {
+  RTDS_REQUIRE(!tasks_.empty(), "min_slack of empty batch");
+  SimDuration best = SimDuration::max();
+  for (const Task& task : tasks_) {
+    best = min_duration(best, task.slack_at(t));
+  }
+  return best;
+}
+
+SimDuration Batch::total_processing() const {
+  SimDuration total = SimDuration::zero();
+  for (const Task& task : tasks_) total += task.processing;
+  return total;
+}
+
+}  // namespace rtds::tasks

@@ -1,0 +1,60 @@
+// Batch maintenance (Sec. 4).
+//
+// The input to each scheduling phase j is Batch(j). At the end of phase j,
+// Batch(j+1) is formed by removing from Batch(j) the tasks that were
+// scheduled and the tasks whose deadlines were missed, and by adding the
+// tasks that arrived during phase j. Scheduled tasks never re-enter a later
+// batch (they are delivered to worker ready queues instead).
+#pragma once
+
+#include <cstddef>
+#include <unordered_set>
+#include <vector>
+
+#include "common/time.h"
+#include "tasks/task.h"
+
+namespace rtds::tasks {
+
+/// Mutable batch of pending tasks between scheduling phases.
+///
+/// Order is preserved across operations (arrival order, then merge order)
+/// so that schedulers see a deterministic candidate ordering.
+class Batch {
+ public:
+  Batch() = default;
+
+  [[nodiscard]] bool empty() const { return tasks_.empty(); }
+  [[nodiscard]] std::size_t size() const { return tasks_.size(); }
+  [[nodiscard]] const std::vector<Task>& tasks() const { return tasks_; }
+
+  /// Appends newly arrived tasks. Duplicate ids are a caller bug.
+  void merge_arrivals(const std::vector<Task>& arrived);
+
+  /// Removes tasks that were scheduled in the phase that just ended.
+  /// Ids not present are ignored (they may have been culled already).
+  void remove_scheduled(const std::unordered_set<TaskId>& scheduled_ids);
+
+  /// Culls tasks whose deadlines can no longer be met at time t
+  /// (p_i + t_c > d_i, Sec. 4.1). Returns the culled tasks (the experiment
+  /// harness counts them as deadline misses).
+  std::vector<Task> cull_missed(SimTime t);
+
+  /// Minimum slack over the batch at time t (Min_Slack in Fig. 3).
+  /// Requires a non-empty batch.
+  [[nodiscard]] SimDuration min_slack(SimTime t) const;
+
+  /// Total processing demand of the batch (used by ablation benches).
+  [[nodiscard]] SimDuration total_processing() const;
+
+  void clear() {
+    tasks_.clear();
+    ids_.clear();
+  }
+
+ private:
+  std::vector<Task> tasks_;
+  std::unordered_set<TaskId> ids_;  // duplicate detection
+};
+
+}  // namespace rtds::tasks

@@ -1,0 +1,27 @@
+#include "tasks/task.h"
+
+#include <sstream>
+
+namespace rtds::tasks {
+
+std::vector<ProcessorId> AffinitySet::to_vector() const {
+  std::vector<ProcessorId> out;
+  out.reserve(count());
+  std::uint64_t b = bits_;
+  while (b) {
+    const auto p = static_cast<ProcessorId>(__builtin_ctzll(b));
+    out.push_back(p);
+    b &= b - 1;
+  }
+  return out;
+}
+
+std::string Task::to_string() const {
+  std::ostringstream os;
+  os << "T" << id << "{a=" << arrival.us << "us, p=" << processing.us
+     << "us, d=" << deadline.us << "us, affinity=0x" << std::hex
+     << affinity.raw() << std::dec << "}";
+  return os.str();
+}
+
+}  // namespace rtds::tasks

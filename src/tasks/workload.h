@@ -1,0 +1,81 @@
+// Synthetic workload generation.
+//
+// The paper's evaluation drives the schedulers with database transactions
+// (src/db provides that adapter); this module provides the equivalent
+// synthetic task workloads used by the unit/property tests, the ablation
+// benches, and the quickstart example: bursty or Poisson arrivals, uniform
+// processing times, probabilistic task-to-processor affinity (the "degree
+// of affinity" parameter of Sec. 2) and proportional deadlines.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/time.h"
+#include "tasks/task.h"
+
+namespace rtds::tasks {
+
+/// How task arrival times are drawn.
+enum class ArrivalPattern {
+  kBursty,         ///< all tasks arrive at `start` simultaneously (Sec. 5.1)
+  kPoisson,        ///< exponential inter-arrival times with the given mean
+  kPeriodicBurst,  ///< bursts of `burst_size` tasks every `burst_interval`
+};
+
+/// Parameters of a synthetic workload.
+struct WorkloadConfig {
+  std::uint32_t num_tasks{100};
+  std::uint32_t num_processors{4};  ///< worker count (affinity domain)
+
+  ArrivalPattern arrival{ArrivalPattern::kBursty};
+  SimTime start{SimTime::zero()};
+  SimDuration mean_interarrival{msec(1)};  ///< Poisson only
+  std::uint32_t burst_size{10};            ///< periodic bursts only
+  SimDuration burst_interval{msec(20)};    ///< periodic bursts only
+
+  SimDuration processing_min{msec(1)};
+  SimDuration processing_max{msec(10)};
+
+  /// Degree of affinity (Sec. 2): probability that a task has affinity with
+  /// any given processor. Each task is guaranteed at least one affine
+  /// processor (a task with data on no processor cannot execute).
+  double affinity_degree{0.3};
+
+  /// Deadline = arrival + laxity_factor * processing, with laxity_factor
+  /// drawn uniformly from [laxity_min, laxity_max]. The paper's SF maps to
+  /// laxity via Deadline = SF * 10 * cost; use laxity_min == laxity_max ==
+  /// 10*SF to reproduce that exactly.
+  double laxity_min{10.0};
+  double laxity_max{10.0};
+
+  /// Start-time constraints (footnote 1 task model): each task's earliest
+  /// start is arrival + U[0, max_start_offset]. Zero (default) disables
+  /// the constraint. Deadlines are measured from the earliest start so the
+  /// generated tasks remain individually schedulable.
+  SimDuration max_start_offset{SimDuration::zero()};
+
+  /// Resource-reclaiming extension: actual execution demand is drawn as
+  /// processing * U[actual_fraction_min, actual_fraction_max]. With both at
+  /// 1.0 (default) tasks have no reclaimable slack and actual_processing is
+  /// left unset.
+  double actual_fraction_min{1.0};
+  double actual_fraction_max{1.0};
+
+  /// First task id to assign (ids are sequential from here).
+  TaskId first_id{0};
+};
+
+/// Generates `cfg.num_tasks` tasks, sorted by arrival time.
+/// All randomness comes from `rng` (deterministic given the seed).
+std::vector<Task> generate_workload(const WorkloadConfig& cfg,
+                                    Xoshiro256ss& rng);
+
+/// Splits a workload (sorted by arrival) into the sub-vector of tasks with
+/// arrival in the half-open window [from, to). Used by the phase loop to
+/// collect arrivals during a scheduling phase.
+std::vector<Task> arrivals_in_window(const std::vector<Task>& sorted_tasks,
+                                     SimTime from, SimTime to);
+
+}  // namespace rtds::tasks

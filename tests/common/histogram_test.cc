@@ -1,0 +1,79 @@
+#include "common/histogram.h"
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "common/rng.h"
+
+namespace rtds {
+namespace {
+
+TEST(HistogramTest, ValidatesConstruction) {
+  EXPECT_THROW(Histogram(1.0, 1.0, 4), InvalidArgument);
+  EXPECT_THROW(Histogram(2.0, 1.0, 4), InvalidArgument);
+  EXPECT_THROW(Histogram(0.0, 1.0, 0), InvalidArgument);
+}
+
+TEST(HistogramTest, BucketBoundaries) {
+  Histogram h(0.0, 10.0, 5);
+  EXPECT_DOUBLE_EQ(h.bucket_lo(0), 0.0);
+  EXPECT_DOUBLE_EQ(h.bucket_hi(0), 2.0);
+  EXPECT_DOUBLE_EQ(h.bucket_lo(4), 8.0);
+  EXPECT_DOUBLE_EQ(h.bucket_hi(4), 10.0);
+}
+
+TEST(HistogramTest, CountsIntoCorrectBuckets) {
+  Histogram h(0.0, 10.0, 5);
+  h.add(0.0);   // bucket 0 (inclusive lower edge)
+  h.add(1.99);  // bucket 0
+  h.add(2.0);   // bucket 1
+  h.add(9.99);  // bucket 4
+  h.add(-1.0);  // underflow
+  h.add(10.0);  // overflow (hi is exclusive)
+  h.add(42.0);  // overflow
+  EXPECT_EQ(h.count(), 7u);
+  EXPECT_EQ(h.buckets()[0], 2u);
+  EXPECT_EQ(h.buckets()[1], 1u);
+  EXPECT_EQ(h.buckets()[4], 1u);
+  EXPECT_EQ(h.underflow(), 1u);
+  EXPECT_EQ(h.overflow(), 2u);
+}
+
+TEST(HistogramTest, QuantileEmptyThrows) {
+  Histogram h(0.0, 1.0, 2);
+  EXPECT_THROW(static_cast<void>(h.quantile(0.5)), InvalidArgument);
+  h.add(0.5);
+  EXPECT_THROW(static_cast<void>(h.quantile(1.5)), InvalidArgument);
+}
+
+TEST(HistogramTest, QuantileApproximatesUniform) {
+  Histogram h(0.0, 1.0, 100);
+  Xoshiro256ss rng(3);
+  for (int i = 0; i < 100000; ++i) h.add(rng.uniform_double());
+  EXPECT_NEAR(h.quantile(0.5), 0.5, 0.02);
+  EXPECT_NEAR(h.quantile(0.9), 0.9, 0.02);
+  EXPECT_NEAR(h.quantile(0.1), 0.1, 0.02);
+}
+
+TEST(HistogramTest, QuantileExtremesWithOutliers) {
+  Histogram h(0.0, 10.0, 10);
+  for (int i = 0; i < 10; ++i) h.add(-5.0);
+  for (int i = 0; i < 10; ++i) h.add(50.0);
+  EXPECT_DOUBLE_EQ(h.quantile(0.0), 0.0);   // underflow clamps to lo
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), 10.0);  // overflow clamps to hi
+}
+
+TEST(HistogramTest, RenderShowsNonEmptyBuckets) {
+  Histogram h(0.0, 4.0, 4);
+  h.add(0.5);
+  h.add(0.7);
+  h.add(3.5);
+  const std::string out = h.render(10);
+  EXPECT_NE(out.find("[0, 1): 2"), std::string::npos);
+  EXPECT_NE(out.find("[3, 4): 1"), std::string::npos);
+  EXPECT_EQ(out.find("[1, 2)"), std::string::npos);  // empty bucket hidden
+  EXPECT_NE(out.find("##"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace rtds

@@ -1,0 +1,80 @@
+#include "common/ring_buffer.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "common/error.h"
+
+namespace rtds {
+namespace {
+
+TEST(RingBufferTest, StartsEmpty) {
+  RingBuffer<int> rb(4);
+  EXPECT_TRUE(rb.empty());
+  EXPECT_FALSE(rb.full());
+  EXPECT_EQ(rb.size(), 0u);
+  EXPECT_EQ(rb.capacity(), 4u);
+  EXPECT_EQ(rb.pop(), std::nullopt);
+  EXPECT_THROW(static_cast<void>(rb.front()), InvalidArgument);
+}
+
+TEST(RingBufferTest, RejectsZeroCapacity) {
+  EXPECT_THROW(RingBuffer<int>(0), InvalidArgument);
+}
+
+TEST(RingBufferTest, FifoOrder) {
+  RingBuffer<int> rb(3);
+  EXPECT_TRUE(rb.push(1));
+  EXPECT_TRUE(rb.push(2));
+  EXPECT_TRUE(rb.push(3));
+  EXPECT_TRUE(rb.full());
+  EXPECT_FALSE(rb.push(4));
+  EXPECT_EQ(rb.front(), 1);
+  EXPECT_EQ(rb.pop(), 1);
+  EXPECT_EQ(rb.pop(), 2);
+  EXPECT_EQ(rb.pop(), 3);
+  EXPECT_TRUE(rb.empty());
+}
+
+TEST(RingBufferTest, WrapsAround) {
+  RingBuffer<int> rb(2);
+  for (int round = 0; round < 10; ++round) {
+    EXPECT_TRUE(rb.push(round));
+    EXPECT_TRUE(rb.push(round + 100));
+    EXPECT_EQ(rb.pop(), round);
+    EXPECT_EQ(rb.pop(), round + 100);
+  }
+}
+
+TEST(RingBufferTest, SizeTracksContents) {
+  RingBuffer<int> rb(5);
+  for (int i = 0; i < 4; ++i) rb.push(i);
+  EXPECT_EQ(rb.size(), 4u);
+  rb.pop();
+  rb.pop();
+  EXPECT_EQ(rb.size(), 2u);
+  rb.push(9);
+  EXPECT_EQ(rb.size(), 3u);
+}
+
+TEST(RingBufferTest, ClearResets) {
+  RingBuffer<std::string> rb(2);
+  rb.push("a");
+  rb.push("b");
+  rb.clear();
+  EXPECT_TRUE(rb.empty());
+  EXPECT_TRUE(rb.push("c"));
+  EXPECT_EQ(rb.pop(), "c");
+}
+
+TEST(RingBufferTest, MoveOnlyFriendly) {
+  RingBuffer<std::unique_ptr<int>> rb(2);
+  EXPECT_TRUE(rb.push(std::make_unique<int>(7)));
+  auto out = rb.pop();
+  ASSERT_TRUE(out.has_value());
+  EXPECT_EQ(**out, 7);
+}
+
+}  // namespace
+}  // namespace rtds

@@ -1,0 +1,174 @@
+#include "common/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "common/error.h"
+
+namespace rtds {
+namespace {
+
+TEST(SplitMix64Test, KnownSequenceIsDeterministic) {
+  SplitMix64 a(1234);
+  SplitMix64 b(1234);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(SplitMix64Test, DifferentSeedsDiffer) {
+  SplitMix64 a(1);
+  SplitMix64 b(2);
+  EXPECT_NE(a.next(), b.next());
+}
+
+TEST(Xoshiro256ssTest, Deterministic) {
+  Xoshiro256ss a(99);
+  Xoshiro256ss b(99);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Xoshiro256ssTest, UniformIntStaysInRange) {
+  Xoshiro256ss rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const std::int64_t v = rng.uniform_int(-5, 17);
+    EXPECT_GE(v, -5);
+    EXPECT_LE(v, 17);
+  }
+}
+
+TEST(Xoshiro256ssTest, UniformIntSingletonRange) {
+  Xoshiro256ss rng(7);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(rng.uniform_int(42, 42), 42);
+}
+
+TEST(Xoshiro256ssTest, UniformIntCoversRange) {
+  Xoshiro256ss rng(3);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(rng.uniform_int(0, 9));
+  EXPECT_EQ(seen.size(), 10u);
+}
+
+TEST(Xoshiro256ssTest, UniformIntRejectsBadRange) {
+  Xoshiro256ss rng(3);
+  EXPECT_THROW(rng.uniform_int(5, 4), InvalidArgument);
+}
+
+TEST(Xoshiro256ssTest, UniformIntIsRoughlyUniform) {
+  Xoshiro256ss rng(11);
+  constexpr int kBuckets = 10;
+  constexpr int kDraws = 100000;
+  int counts[kBuckets] = {};
+  for (int i = 0; i < kDraws; ++i) {
+    ++counts[rng.uniform_int(0, kBuckets - 1)];
+  }
+  for (int c : counts) {
+    EXPECT_NEAR(c, kDraws / kBuckets, kDraws / kBuckets * 0.1);
+  }
+}
+
+TEST(Xoshiro256ssTest, UniformDoubleInUnitInterval) {
+  Xoshiro256ss rng(5);
+  for (int i = 0; i < 10000; ++i) {
+    const double v = rng.uniform_double();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+}
+
+TEST(Xoshiro256ssTest, UniformDoubleRange) {
+  Xoshiro256ss rng(5);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = rng.uniform_double(2.5, 3.5);
+    EXPECT_GE(v, 2.5);
+    EXPECT_LT(v, 3.5);
+  }
+}
+
+TEST(Xoshiro256ssTest, BernoulliEdges) {
+  Xoshiro256ss rng(5);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.bernoulli(0.0));
+    EXPECT_TRUE(rng.bernoulli(1.0));
+  }
+  EXPECT_THROW(rng.bernoulli(1.5), InvalidArgument);
+  EXPECT_THROW(rng.bernoulli(-0.1), InvalidArgument);
+}
+
+TEST(Xoshiro256ssTest, BernoulliMatchesProbability) {
+  Xoshiro256ss rng(17);
+  int hits = 0;
+  constexpr int kDraws = 100000;
+  for (int i = 0; i < kDraws; ++i) {
+    if (rng.bernoulli(0.3)) ++hits;
+  }
+  EXPECT_NEAR(double(hits) / kDraws, 0.3, 0.01);
+}
+
+TEST(Xoshiro256ssTest, ExponentialMeanMatches) {
+  Xoshiro256ss rng(23);
+  double sum = 0.0;
+  constexpr int kDraws = 200000;
+  for (int i = 0; i < kDraws; ++i) sum += rng.exponential(4.0);
+  EXPECT_NEAR(sum / kDraws, 4.0, 0.05);
+  EXPECT_THROW(rng.exponential(0.0), InvalidArgument);
+}
+
+TEST(Xoshiro256ssTest, UniformDurationBounds) {
+  Xoshiro256ss rng(31);
+  for (int i = 0; i < 1000; ++i) {
+    const SimDuration d = rng.uniform_duration(usec(10), usec(20));
+    EXPECT_GE(d, usec(10));
+    EXPECT_LE(d, usec(20));
+  }
+}
+
+TEST(Xoshiro256ssTest, SampleIndicesDistinctAndBounded) {
+  Xoshiro256ss rng(41);
+  for (int trial = 0; trial < 100; ++trial) {
+    const auto sample = rng.sample_indices(20, 7);
+    EXPECT_EQ(sample.size(), 7u);
+    std::set<std::size_t> uniq(sample.begin(), sample.end());
+    EXPECT_EQ(uniq.size(), 7u);
+    for (std::size_t s : sample) EXPECT_LT(s, 20u);
+  }
+  EXPECT_THROW(rng.sample_indices(3, 4), InvalidArgument);
+}
+
+TEST(Xoshiro256ssTest, SampleAllIndicesIsPermutation) {
+  Xoshiro256ss rng(43);
+  auto sample = rng.sample_indices(10, 10);
+  std::sort(sample.begin(), sample.end());
+  for (std::size_t i = 0; i < 10; ++i) EXPECT_EQ(sample[i], i);
+}
+
+TEST(Xoshiro256ssTest, ShuffleIsPermutation) {
+  Xoshiro256ss rng(47);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8};
+  auto copy = v;
+  rng.shuffle(copy);
+  std::sort(copy.begin(), copy.end());
+  EXPECT_EQ(copy, v);
+}
+
+TEST(Xoshiro256ssTest, PickReturnsMember) {
+  Xoshiro256ss rng(53);
+  const std::vector<int> v{10, 20, 30};
+  for (int i = 0; i < 100; ++i) {
+    const int x = rng.pick(v);
+    EXPECT_TRUE(x == 10 || x == 20 || x == 30);
+  }
+  const std::vector<int> empty;
+  EXPECT_THROW(rng.pick(empty), InvalidArgument);
+}
+
+TEST(DeriveSeedTest, DistinctPerRunAndStable) {
+  const auto s0 = derive_seed(100, 0);
+  const auto s1 = derive_seed(100, 1);
+  EXPECT_NE(s0, s1);
+  EXPECT_EQ(s0, derive_seed(100, 0));
+  EXPECT_NE(derive_seed(100, 0), derive_seed(101, 0));
+}
+
+}  // namespace
+}  // namespace rtds

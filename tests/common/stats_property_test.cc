@@ -1,0 +1,104 @@
+// Statistical property tests: confidence-interval coverage and Welch test
+// error rates, checked by simulation against known distributions.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "common/stats.h"
+
+namespace rtds {
+namespace {
+
+TEST(CoverageTest, ConfidenceIntervalCoversTrueMean) {
+  // Draw many samples of n=10 from a normal-ish distribution (sum of
+  // uniforms) with known mean; the 99% CI must cover the mean ~99% of the
+  // time (allow 97.5%..100% over 2000 trials).
+  Xoshiro256ss rng(42);
+  const double true_mean = 6.0;  // sum of 12 U(0,1) has mean 6, var 1
+  int covered = 0;
+  const int kTrials = 2000;
+  for (int trial = 0; trial < kTrials; ++trial) {
+    RunningStats s;
+    for (int i = 0; i < 10; ++i) {
+      double x = 0;
+      for (int k = 0; k < 12; ++k) x += rng.uniform_double();
+      s.add(x);
+    }
+    const double half = confidence_interval(s, 0.99);
+    if (std::fabs(s.mean() - true_mean) <= half) ++covered;
+  }
+  const double coverage = double(covered) / kTrials;
+  EXPECT_GE(coverage, 0.975);
+}
+
+TEST(CoverageTest, NinetyFiveNarrowerThanNinetyNine) {
+  Xoshiro256ss rng(7);
+  RunningStats s;
+  for (int i = 0; i < 10; ++i) s.add(rng.uniform_double(0, 10));
+  EXPECT_LT(confidence_interval(s, 0.95), confidence_interval(s, 0.99));
+}
+
+TEST(WelchErrorRateTest, FalsePositiveRateNearAlpha) {
+  // Same distribution on both sides: the 0.01-level test should reject
+  // about 1% of the time (allow <= 2.5% over 2000 trials).
+  Xoshiro256ss rng(11);
+  int rejections = 0;
+  const int kTrials = 2000;
+  for (int trial = 0; trial < kTrials; ++trial) {
+    RunningStats a, b;
+    for (int i = 0; i < 10; ++i) {
+      a.add(rng.uniform_double(0, 1));
+      b.add(rng.uniform_double(0, 1));
+    }
+    if (welch_t_test(a, b).significant(0.01)) ++rejections;
+  }
+  EXPECT_LE(double(rejections) / kTrials, 0.025);
+}
+
+TEST(WelchErrorRateTest, PowerAgainstRealDifference) {
+  // Means 0.5 vs 0.65 with sd ~0.29 and n=10 per side: the test should
+  // detect the difference often (not a sharp bound; just non-trivial
+  // power).
+  Xoshiro256ss rng(13);
+  int rejections = 0;
+  const int kTrials = 500;
+  for (int trial = 0; trial < kTrials; ++trial) {
+    RunningStats a, b;
+    for (int i = 0; i < 10; ++i) {
+      a.add(rng.uniform_double(0.0, 1.0));
+      b.add(rng.uniform_double(0.3, 1.3));  // +0.3 shift ~ 1 sd
+    }
+    if (welch_t_test(a, b).significant(0.01)) ++rejections;
+  }
+  EXPECT_GE(double(rejections) / kTrials, 0.2);
+}
+
+TEST(RunningStatsPropertyTest, MergeAssociativity) {
+  Xoshiro256ss rng(17);
+  for (int trial = 0; trial < 50; ++trial) {
+    RunningStats a, b, c, left, right;
+    for (int i = 0; i < 30; ++i) {
+      const double x = rng.uniform_double(-5, 5);
+      const int which = int(rng.uniform_int(0, 2));
+      (which == 0 ? a : which == 1 ? b : c).add(x);
+    }
+    // (a + b) + c
+    left = a;
+    left.merge(b);
+    left.merge(c);
+    // a + (b + c)
+    RunningStats bc = b;
+    bc.merge(c);
+    right = a;
+    right.merge(bc);
+    ASSERT_EQ(left.count(), right.count());
+    if (left.count() > 0) {
+      ASSERT_NEAR(left.mean(), right.mean(), 1e-9);
+      ASSERT_NEAR(left.variance(), right.variance(), 1e-9);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace rtds

@@ -1,0 +1,191 @@
+#include "common/stats.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.h"
+#include "common/rng.h"
+
+namespace rtds {
+namespace {
+
+TEST(RunningStatsTest, EmptyBehaviour) {
+  RunningStats s;
+  EXPECT_TRUE(s.empty());
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_THROW(static_cast<void>(s.mean()), InvalidArgument);
+  EXPECT_THROW(static_cast<void>(s.min()), InvalidArgument);
+  EXPECT_THROW(static_cast<void>(s.max()), InvalidArgument);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+}
+
+TEST(RunningStatsTest, SingleValue) {
+  RunningStats s;
+  s.add(3.5);
+  EXPECT_EQ(s.count(), 1u);
+  EXPECT_DOUBLE_EQ(s.mean(), 3.5);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.min(), 3.5);
+  EXPECT_DOUBLE_EQ(s.max(), 3.5);
+}
+
+TEST(RunningStatsTest, KnownSample) {
+  RunningStats s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  // Sample variance with n-1 = 7: sum of squared deviations = 32.
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+}
+
+TEST(RunningStatsTest, MergeEqualsSequential) {
+  RunningStats joint, left, right;
+  Xoshiro256ss rng(5);
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.uniform_double(-10, 10);
+    joint.add(x);
+    (i < 500 ? left : right).add(x);
+  }
+  left.merge(right);
+  EXPECT_EQ(left.count(), joint.count());
+  EXPECT_NEAR(left.mean(), joint.mean(), 1e-9);
+  EXPECT_NEAR(left.variance(), joint.variance(), 1e-9);
+  EXPECT_DOUBLE_EQ(left.min(), joint.min());
+  EXPECT_DOUBLE_EQ(left.max(), joint.max());
+}
+
+TEST(RunningStatsTest, MergeWithEmpty) {
+  RunningStats a, b;
+  a.add(1.0);
+  a.add(2.0);
+  a.merge(b);  // no-op
+  EXPECT_EQ(a.count(), 2u);
+  b.merge(a);  // copy
+  EXPECT_EQ(b.count(), 2u);
+  EXPECT_DOUBLE_EQ(b.mean(), 1.5);
+}
+
+TEST(IncompleteBetaTest, BoundaryValues) {
+  EXPECT_DOUBLE_EQ(regularized_incomplete_beta(2.0, 3.0, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(regularized_incomplete_beta(2.0, 3.0, 1.0), 1.0);
+}
+
+TEST(IncompleteBetaTest, SymmetryIdentity) {
+  // I_x(a, b) == 1 - I_{1-x}(b, a)
+  for (double x : {0.1, 0.3, 0.5, 0.7, 0.9}) {
+    const double lhs = regularized_incomplete_beta(2.5, 4.0, x);
+    const double rhs = 1.0 - regularized_incomplete_beta(4.0, 2.5, 1.0 - x);
+    EXPECT_NEAR(lhs, rhs, 1e-10);
+  }
+}
+
+TEST(IncompleteBetaTest, UniformSpecialCase) {
+  // I_x(1, 1) = x.
+  for (double x : {0.2, 0.5, 0.8}) {
+    EXPECT_NEAR(regularized_incomplete_beta(1.0, 1.0, x), x, 1e-10);
+  }
+}
+
+TEST(IncompleteBetaTest, HalfHalfIsArcsine) {
+  // I_x(1/2, 1/2) = (2/pi) asin(sqrt(x)).
+  for (double x : {0.1, 0.4, 0.9}) {
+    const double expected = 2.0 / M_PI * std::asin(std::sqrt(x));
+    EXPECT_NEAR(regularized_incomplete_beta(0.5, 0.5, x), expected, 1e-9);
+  }
+}
+
+TEST(StudentTCriticalTest, MatchesTables) {
+  // Classic two-tailed critical values.
+  EXPECT_NEAR(student_t_critical(9, 0.05), 2.262, 0.002);
+  EXPECT_NEAR(student_t_critical(9, 0.01), 3.250, 0.002);
+  EXPECT_NEAR(student_t_critical(30, 0.05), 2.042, 0.002);
+  // Large df approaches the normal quantile 1.96.
+  EXPECT_NEAR(student_t_critical(100000, 0.05), 1.960, 0.005);
+}
+
+TEST(WelchTest, IdenticalSamplesNotSignificant) {
+  RunningStats a, b;
+  for (double x : {1.0, 2.0, 3.0, 4.0, 5.0}) {
+    a.add(x);
+    b.add(x);
+  }
+  const WelchResult r = welch_t_test(a, b);
+  EXPECT_NEAR(r.t_statistic, 0.0, 1e-12);
+  EXPECT_GT(r.p_value, 0.99);
+  EXPECT_FALSE(r.significant(0.01));
+}
+
+TEST(WelchTest, ClearlySeparatedSamplesSignificant) {
+  RunningStats a, b;
+  Xoshiro256ss rng(7);
+  for (int i = 0; i < 10; ++i) {
+    a.add(10.0 + rng.uniform_double(-0.5, 0.5));
+    b.add(20.0 + rng.uniform_double(-0.5, 0.5));
+  }
+  const WelchResult r = welch_t_test(a, b);
+  EXPECT_LT(r.p_value, 1e-6);
+  EXPECT_TRUE(r.significant(0.01));
+  EXPECT_LT(r.t_statistic, 0.0);  // a.mean < b.mean
+}
+
+TEST(WelchTest, KnownTStatistic) {
+  // Hand-computable case: a = {1,2,3}, b = {2,4,6}.
+  RunningStats a, b;
+  for (double x : {1.0, 2.0, 3.0}) a.add(x);
+  for (double x : {2.0, 4.0, 6.0}) b.add(x);
+  const WelchResult r = welch_t_test(a, b);
+  // mean diff = -2, se = sqrt(1/3 + 4/3) = sqrt(5/3)
+  EXPECT_NEAR(r.t_statistic, -2.0 / std::sqrt(5.0 / 3.0), 1e-9);
+}
+
+TEST(WelchTest, DegenerateConstantSamples) {
+  RunningStats a, b;
+  for (int i = 0; i < 5; ++i) {
+    a.add(1.0);
+    b.add(1.0);
+  }
+  EXPECT_DOUBLE_EQ(welch_t_test(a, b).p_value, 1.0);
+  RunningStats c;
+  for (int i = 0; i < 5; ++i) c.add(2.0);
+  EXPECT_DOUBLE_EQ(welch_t_test(a, c).p_value, 0.0);
+}
+
+TEST(WelchTest, RequiresTwoObservations) {
+  RunningStats a, b;
+  a.add(1.0);
+  b.add(1.0);
+  b.add(2.0);
+  EXPECT_THROW(welch_t_test(a, b), InvalidArgument);
+}
+
+TEST(ConfidenceIntervalTest, ZeroForTinySamples) {
+  RunningStats s;
+  EXPECT_DOUBLE_EQ(confidence_interval(s), 0.0);
+  s.add(5.0);
+  EXPECT_DOUBLE_EQ(confidence_interval(s), 0.0);
+}
+
+TEST(ConfidenceIntervalTest, MatchesManualComputation) {
+  RunningStats s;
+  for (double x : {10.0, 12.0, 14.0, 16.0, 18.0}) s.add(x);
+  // sd = sqrt(10), n = 5, t(4, .01) ~ 4.604
+  const double expected =
+      student_t_critical(4, 0.01) * s.stddev() / std::sqrt(5.0);
+  EXPECT_NEAR(confidence_interval(s, 0.99), expected, 1e-9);
+  EXPECT_LT(confidence_interval(s, 0.95), confidence_interval(s, 0.99));
+}
+
+TEST(SummarizeTest, EmptyAndFilled) {
+  EXPECT_EQ(summarize({}).n, 0u);
+  const Summary s = summarize({1.0, 2.0, 3.0});
+  EXPECT_EQ(s.n, 3u);
+  EXPECT_DOUBLE_EQ(s.mean, 2.0);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 3.0);
+  EXPECT_GT(s.ci99, 0.0);
+}
+
+}  // namespace
+}  // namespace rtds

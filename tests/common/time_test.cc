@@ -1,0 +1,75 @@
+#include "common/time.h"
+
+#include <gtest/gtest.h>
+
+namespace rtds {
+namespace {
+
+TEST(SimDurationTest, ArithmeticBasics) {
+  const SimDuration a = msec(3);
+  const SimDuration b = usec(500);
+  EXPECT_EQ((a + b).us, 3500);
+  EXPECT_EQ((a - b).us, 2500);
+  EXPECT_EQ((a * 4).us, 12000);
+  EXPECT_EQ(a / b, 6);
+  EXPECT_EQ((a / 3).us, 1000);
+  EXPECT_EQ((-a).us, -3000);
+}
+
+TEST(SimDurationTest, CompoundAssignment) {
+  SimDuration d = usec(10);
+  d += usec(5);
+  EXPECT_EQ(d.us, 15);
+  d -= usec(20);
+  EXPECT_EQ(d.us, -5);
+  EXPECT_TRUE(d.is_negative());
+  EXPECT_FALSE(d.is_zero());
+  EXPECT_TRUE(SimDuration::zero().is_zero());
+}
+
+TEST(SimDurationTest, Comparisons) {
+  EXPECT_LT(usec(1), usec(2));
+  EXPECT_LE(usec(2), usec(2));
+  EXPECT_GT(msec(1), usec(999));
+  EXPECT_EQ(sec(1), msec(1000));
+}
+
+TEST(SimDurationTest, UnitConversions) {
+  EXPECT_EQ(sec(2).us, 2'000'000);
+  EXPECT_EQ(msec(2).us, 2000);
+  EXPECT_DOUBLE_EQ(msec(1500).seconds(), 1.5);
+  EXPECT_DOUBLE_EQ(usec(2500).millis(), 2.5);
+}
+
+TEST(SimDurationTest, MinMaxClamp) {
+  EXPECT_EQ(max_duration(usec(3), usec(7)), usec(7));
+  EXPECT_EQ(min_duration(usec(3), usec(7)), usec(3));
+  EXPECT_EQ(clamp_duration(usec(5), usec(1), usec(10)), usec(5));
+  EXPECT_EQ(clamp_duration(usec(0), usec(1), usec(10)), usec(1));
+  EXPECT_EQ(clamp_duration(usec(50), usec(1), usec(10)), usec(10));
+}
+
+TEST(SimTimeTest, Arithmetic) {
+  const SimTime t = SimTime::zero() + msec(5);
+  EXPECT_EQ(t.us, 5000);
+  EXPECT_EQ((t + usec(1)).us, 5001);
+  EXPECT_EQ((t - usec(1)).us, 4999);
+  EXPECT_EQ(t - SimTime::zero(), msec(5));
+  SimTime u = t;
+  u += msec(1);
+  EXPECT_EQ(u.us, 6000);
+}
+
+TEST(SimTimeTest, Ordering) {
+  EXPECT_LT(SimTime::zero(), SimTime{1});
+  EXPECT_EQ(SimTime{5}, SimTime::zero() + usec(5));
+  EXPECT_LT(SimTime{5}, SimTime::max());
+}
+
+TEST(TimeToStringTest, Formats) {
+  EXPECT_EQ(to_string(usec(12)), "12us");
+  EXPECT_EQ(to_string(SimTime{7}), "t+7us");
+}
+
+}  // namespace
+}  // namespace rtds

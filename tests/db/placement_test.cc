@@ -1,0 +1,95 @@
+#include "db/placement.h"
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+
+namespace rtds::db {
+namespace {
+
+TEST(CopiesForTest, MatchesPaperEndpoints) {
+  // R = 10%, m = 10 -> one copy; R = 100% -> every worker.
+  EXPECT_EQ(Placement::copies_for(10, 0.10), 1u);
+  EXPECT_EQ(Placement::copies_for(10, 1.00), 10u);
+  EXPECT_EQ(Placement::copies_for(10, 0.30), 3u);
+  EXPECT_EQ(Placement::copies_for(10, 0.55), 6u);  // round to nearest
+  // Never zero even when R*m rounds down.
+  EXPECT_EQ(Placement::copies_for(4, 0.05), 1u);
+  EXPECT_THROW(static_cast<void>(Placement::copies_for(10, 0.0)), InvalidArgument);
+  EXPECT_THROW(static_cast<void>(Placement::copies_for(10, 1.5)), InvalidArgument);
+  EXPECT_THROW(static_cast<void>(Placement::copies_for(0, 0.5)), InvalidArgument);
+}
+
+TEST(RotationPlacementTest, EverySubDbHasExactlyCopiesHolders) {
+  const Placement p = Placement::rotation(10, 10, 0.3);
+  EXPECT_EQ(p.copies(), 3u);
+  for (std::uint32_t s = 0; s < 10; ++s) {
+    EXPECT_EQ(p.holders(s).count(), 3u);
+  }
+  EXPECT_THROW(static_cast<void>(p.holders(10)), InvalidArgument);
+}
+
+TEST(RotationPlacementTest, RotationLayoutIsContiguousModulo) {
+  const Placement p = Placement::rotation(4, 6, 0.5);  // 3 copies
+  for (std::uint32_t s = 0; s < 4; ++s) {
+    for (std::uint32_t c = 0; c < 3; ++c) {
+      EXPECT_TRUE(p.holders(s).contains((s + c) % 6));
+    }
+  }
+}
+
+TEST(RotationPlacementTest, BalancedWhenSubDbsMultipleOfWorkers) {
+  const Placement p = Placement::rotation(10, 10, 0.3);
+  for (tasks::ProcessorId w = 0; w < 10; ++w) {
+    EXPECT_EQ(p.held_by(w), 3u);
+  }
+}
+
+TEST(RotationPlacementTest, FullReplicationGivesGlobalDatabaseEverywhere) {
+  const Placement p = Placement::rotation(10, 8, 1.0);
+  for (std::uint32_t s = 0; s < 10; ++s) {
+    EXPECT_EQ(p.holders(s).count(), 8u);
+  }
+  for (tasks::ProcessorId w = 0; w < 8; ++w) {
+    EXPECT_EQ(p.held_by(w), 10u);
+  }
+}
+
+TEST(RotationPlacementTest, MinimalReplicationPinsEachSubDbOnce) {
+  const Placement p = Placement::rotation(10, 10, 0.1);
+  for (std::uint32_t s = 0; s < 10; ++s) {
+    EXPECT_EQ(p.holders(s).count(), 1u);
+    EXPECT_TRUE(p.holders(s).contains(s));
+  }
+}
+
+TEST(RandomPlacementTest, RespectsCopyCountAndBounds) {
+  Xoshiro256ss rng(9);
+  const Placement p = Placement::random(10, 6, 0.5, rng);
+  EXPECT_EQ(p.copies(), 3u);
+  for (std::uint32_t s = 0; s < 10; ++s) {
+    EXPECT_EQ(p.holders(s).count(), 3u);
+    for (tasks::ProcessorId w : p.holders(s).to_vector()) {
+      EXPECT_LT(w, 6u);
+    }
+  }
+}
+
+TEST(RandomPlacementTest, DeterministicGivenSeed) {
+  Xoshiro256ss rng1(10), rng2(10);
+  const Placement a = Placement::random(6, 8, 0.4, rng1);
+  const Placement b = Placement::random(6, 8, 0.4, rng2);
+  for (std::uint32_t s = 0; s < 6; ++s) {
+    EXPECT_EQ(a.holders(s), b.holders(s));
+  }
+}
+
+TEST(PlacementAccessorsTest, ReportConfiguration) {
+  const Placement p = Placement::rotation(5, 7, 0.6);
+  EXPECT_EQ(p.num_subdbs(), 5u);
+  EXPECT_EQ(p.num_workers(), 7u);
+  EXPECT_DOUBLE_EQ(p.replication_rate(), 0.6);
+}
+
+}  // namespace
+}  // namespace rtds::db

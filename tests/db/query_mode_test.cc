@@ -1,0 +1,119 @@
+// Tests of first-match query semantics and actual-cost derivation — the
+// database side of the resource-reclaiming extension.
+#include <gtest/gtest.h>
+
+#include "db/database.h"
+#include "db/placement.h"
+#include "db/transaction.h"
+
+namespace rtds::db {
+namespace {
+
+DatabaseConfig small_config() {
+  DatabaseConfig cfg;
+  cfg.num_subdbs = 4;
+  cfg.records_per_subdb = 200;
+  cfg.num_attributes = 5;
+  cfg.domain_size = 20;
+  cfg.check_cost = usec(10);
+  return cfg;
+}
+
+TEST(QueryModeTest, FirstMatchStopsAtFirstHit) {
+  Xoshiro256ss rng(1);
+  const GlobalDatabase db(small_config(), rng);
+  const SubDatabase& sd = db.subdb(0);
+  // A key value with multiple rows: first-match checks fewer tuples.
+  AttrValue key = 0;
+  for (std::uint32_t off = 0; off < 20; ++off) {
+    key = db.encode(0, kKeyAttribute, off);
+    if (db.key_frequency(key) >= 3) break;
+  }
+  ASSERT_GE(db.key_frequency(key), 3u);
+  Transaction txn;
+  txn.subdb = 0;
+  txn.predicates = {{kKeyAttribute, key}};
+  const QueryResult all = sd.execute(txn, QueryMode::kAllMatches);
+  const QueryResult first = sd.execute(txn, QueryMode::kFirstMatch);
+  EXPECT_EQ(first.matched, 1u);
+  EXPECT_EQ(first.checked, 1u);  // key rows all match a pure key predicate
+  EXPECT_GT(all.matched, first.matched);
+}
+
+TEST(QueryModeTest, FirstMatchEqualsAllWhenNothingMatches) {
+  Xoshiro256ss rng(2);
+  const GlobalDatabase db(small_config(), rng);
+  // Conjunction unlikely to be satisfied: key + 3 specific attributes.
+  Transaction txn;
+  txn.subdb = 1;
+  txn.predicates = {{1u, db.encode(1, 1, 0)},
+                    {2u, db.encode(1, 2, 1)},
+                    {3u, db.encode(1, 3, 2)},
+                    {4u, db.encode(1, 4, 3)}};
+  const QueryResult all = db.execute(txn, QueryMode::kAllMatches);
+  const QueryResult first = db.execute(txn, QueryMode::kFirstMatch);
+  if (all.matched == 0) {
+    EXPECT_EQ(first.checked, all.checked);  // scanned everything either way
+  } else {
+    EXPECT_LE(first.checked, all.checked);
+  }
+}
+
+TEST(QueryModeTest, FirstMatchNeverChecksMore) {
+  Xoshiro256ss rng(3);
+  const GlobalDatabase db(small_config(), rng);
+  TransactionWorkloadConfig cfg;
+  cfg.num_transactions = 300;
+  for (const Transaction& txn : generate_transactions(db, cfg, rng)) {
+    const QueryResult all = db.execute(txn, QueryMode::kAllMatches);
+    const QueryResult first = db.execute(txn, QueryMode::kFirstMatch);
+    EXPECT_LE(first.checked, all.checked);
+    EXPECT_LE(first.matched, 1u);
+  }
+}
+
+TEST(ActualCostTest, BoundedByEstimateAndPositive) {
+  Xoshiro256ss rng(4);
+  const GlobalDatabase db(small_config(), rng);
+  TransactionWorkloadConfig cfg;
+  cfg.num_transactions = 300;
+  for (const Transaction& txn : generate_transactions(db, cfg, rng)) {
+    for (QueryMode mode : {QueryMode::kAllMatches, QueryMode::kFirstMatch}) {
+      const SimDuration actual = db.actual_cost(txn, mode);
+      EXPECT_GT(actual, SimDuration::zero());
+      EXPECT_LE(actual, db.estimate_cost(txn));
+    }
+  }
+}
+
+TEST(ActualCostTest, ToTaskFillsActualWhenRequested) {
+  Xoshiro256ss rng(5);
+  const GlobalDatabase db(small_config(), rng);
+  const Placement placement = Placement::rotation(4, 4, 0.5);
+  TransactionWorkloadConfig cfg;
+  cfg.num_transactions = 100;
+  const auto txns = generate_transactions(db, cfg, rng);
+
+  const auto plain = to_tasks(txns, db, placement, cfg);
+  for (const tasks::Task& t : plain) {
+    EXPECT_TRUE(t.actual_processing.is_zero());
+    EXPECT_EQ(t.effective_processing(), t.processing);
+  }
+
+  TransactionWorkloadConfig filled_cfg = cfg;
+  filled_cfg.fill_actual_costs = true;
+  const auto filled = to_tasks(txns, db, placement, filled_cfg);
+  bool any_cheaper = false;
+  for (std::size_t i = 0; i < filled.size(); ++i) {
+    EXPECT_LE(filled[i].effective_processing(), filled[i].processing);
+    EXPECT_EQ(filled[i].actual_processing,
+              db.actual_cost(txns[i], QueryMode::kFirstMatch));
+    if (filled[i].effective_processing() < filled[i].processing) {
+      any_cheaper = true;
+    }
+  }
+  EXPECT_TRUE(any_cheaper);  // first-match must save somewhere
+}
+
+}  // namespace
+}  // namespace rtds::db

@@ -1,0 +1,62 @@
+#include "exp/table.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/error.h"
+
+namespace rtds::exp {
+namespace {
+
+TEST(TextTableTest, RejectsEmptyHeaderAndRaggedRows) {
+  EXPECT_THROW(TextTable({}), InvalidArgument);
+  TextTable t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), InvalidArgument);
+}
+
+TEST(TextTableTest, PrintsAlignedColumns) {
+  TextTable t({"P", "hit"});
+  t.add_row({"2", "0.50"});
+  t.add_row({"10", "0.95"});
+  std::ostringstream os;
+  t.print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("P"), std::string::npos);
+  EXPECT_NE(out.find("----"), std::string::npos);
+  EXPECT_NE(out.find("0.95"), std::string::npos);
+  // Header line and rows share the column offset of column 2.
+  std::istringstream in(out);
+  std::string header, rule, row1;
+  std::getline(in, header);
+  std::getline(in, rule);
+  std::getline(in, row1);
+  EXPECT_EQ(header.find("hit"), row1.find("0.50"));
+}
+
+TEST(TextTableTest, CsvEscapesSpecials) {
+  TextTable t({"name", "note"});
+  t.add_row({"a,b", "say \"hi\""});
+  std::ostringstream os;
+  t.print_csv(os);
+  EXPECT_EQ(os.str(), "name,note\n\"a,b\",\"say \"\"hi\"\"\"\n");
+}
+
+TEST(TextTableTest, RowCount) {
+  TextTable t({"x"});
+  EXPECT_EQ(t.rows(), 0u);
+  t.add_row({"1"});
+  t.add_row({"2"});
+  EXPECT_EQ(t.rows(), 2u);
+}
+
+TEST(FormattersTest, Fmt) {
+  EXPECT_EQ(fmt(3.14159, 2), "3.14");
+  EXPECT_EQ(fmt(2.0, 0), "2");
+  EXPECT_EQ(fmt_pm(1.5, 0.25, 2), "1.50 ± 0.25");
+  EXPECT_EQ(fmt_pct(0.734), "73.4%");
+  EXPECT_EQ(fmt_pct(1.0), "100.0%");
+}
+
+}  // namespace
+}  // namespace rtds::exp

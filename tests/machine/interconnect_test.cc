@@ -1,0 +1,84 @@
+#include "machine/interconnect.h"
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+
+namespace rtds::machine {
+namespace {
+
+TEST(CutThroughTest, ZeroForAffineConstantOtherwise) {
+  const Interconnect net = Interconnect::cut_through(8, msec(3));
+  AffinitySet aff;
+  aff.add(2);
+  aff.add(5);
+  EXPECT_EQ(net.comm_cost(aff, 2), SimDuration::zero());
+  EXPECT_EQ(net.comm_cost(aff, 5), SimDuration::zero());
+  for (ProcessorId p : {0u, 1u, 3u, 4u, 6u, 7u}) {
+    EXPECT_EQ(net.comm_cost(aff, p), msec(3));
+  }
+}
+
+TEST(CutThroughTest, DistanceIndependent) {
+  // The defining property of wormhole routing in the paper's model.
+  const Interconnect net = Interconnect::cut_through(16, msec(1));
+  const AffinitySet aff = AffinitySet::single(0);
+  EXPECT_EQ(net.comm_cost(aff, 1), net.comm_cost(aff, 15));
+}
+
+TEST(CutThroughTest, ValidatesArguments) {
+  EXPECT_THROW(Interconnect::cut_through(0, msec(1)), InvalidArgument);
+  EXPECT_THROW(Interconnect::cut_through(4, usec(-1)), InvalidArgument);
+  const Interconnect net = Interconnect::cut_through(4, msec(1));
+  EXPECT_THROW(static_cast<void>(net.comm_cost(AffinitySet::single(0), 4)), InvalidArgument);
+  EXPECT_THROW(static_cast<void>(net.comm_cost(AffinitySet::none(), 0)), InvalidArgument);
+}
+
+TEST(MeshTest, ZeroForHolder) {
+  const Interconnect net = Interconnect::mesh(9, usec(100));
+  EXPECT_EQ(net.comm_cost(AffinitySet::single(4), 4), SimDuration::zero());
+}
+
+TEST(MeshTest, ManhattanDistanceOn3x3) {
+  // Workers laid out row-major on a 3x3 grid:
+  //   0 1 2
+  //   3 4 5
+  //   6 7 8
+  const Interconnect net = Interconnect::mesh(9, usec(100));
+  const AffinitySet origin = AffinitySet::single(0);
+  EXPECT_EQ(net.comm_cost(origin, 1), usec(100));   // 1 hop
+  EXPECT_EQ(net.comm_cost(origin, 3), usec(100));   // 1 hop
+  EXPECT_EQ(net.comm_cost(origin, 4), usec(200));   // 2 hops
+  EXPECT_EQ(net.comm_cost(origin, 8), usec(400));   // 4 hops
+}
+
+TEST(MeshTest, NearestHolderWins) {
+  const Interconnect net = Interconnect::mesh(9, usec(100));
+  AffinitySet holders;
+  holders.add(0);
+  holders.add(8);
+  // Worker 5 is 3 hops from 0 but 1 hop from 8.
+  EXPECT_EQ(net.comm_cost(holders, 5), usec(100));
+}
+
+TEST(MeshTest, ModelAccessorsReport) {
+  const Interconnect ct = Interconnect::cut_through(4, msec(1));
+  EXPECT_EQ(ct.model(), RoutingModel::kCutThrough);
+  EXPECT_EQ(ct.num_workers(), 4u);
+  const Interconnect mesh = Interconnect::mesh(4, msec(1));
+  EXPECT_EQ(mesh.model(), RoutingModel::kStoreAndForward);
+}
+
+TEST(MeshTest, MeshCostExceedsOrEqualsCutThroughShape) {
+  // With per-hop cost equal to the constant cost, the mesh can only be
+  // more expensive than cut-through for non-adjacent placements.
+  const Interconnect ct = Interconnect::cut_through(16, usec(500));
+  const Interconnect mesh = Interconnect::mesh(16, usec(500));
+  const AffinitySet aff = AffinitySet::single(0);
+  for (ProcessorId p = 1; p < 16; ++p) {
+    EXPECT_GE(mesh.comm_cost(aff, p), ct.comm_cost(aff, p));
+  }
+}
+
+}  // namespace
+}  // namespace rtds::machine

@@ -1,0 +1,103 @@
+#include "runtime/bounded_queue.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "common/error.h"
+
+namespace rtds::runtime {
+namespace {
+
+TEST(BoundedQueueTest, BasicPushPop) {
+  BoundedQueue<int> q(4);
+  EXPECT_TRUE(q.push(1));
+  EXPECT_TRUE(q.push(2));
+  EXPECT_EQ(q.size(), 2u);
+  EXPECT_EQ(q.pop(), 1);
+  EXPECT_EQ(q.pop(), 2);
+  EXPECT_THROW(BoundedQueue<int>(0), InvalidArgument);
+}
+
+TEST(BoundedQueueTest, CloseDrainsThenSignals) {
+  BoundedQueue<int> q(4);
+  q.push(7);
+  q.close();
+  EXPECT_FALSE(q.push(8));
+  EXPECT_EQ(q.pop(), 7);           // drain remaining
+  EXPECT_EQ(q.pop(), std::nullopt);  // then closed
+}
+
+TEST(BoundedQueueTest, PopBlocksUntilPush) {
+  BoundedQueue<int> q(2);
+  std::atomic<int> got{0};
+  std::thread consumer([&] {
+    const auto v = q.pop();
+    got = v.value_or(-1);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_EQ(got.load(), 0);
+  q.push(42);
+  consumer.join();
+  EXPECT_EQ(got.load(), 42);
+}
+
+TEST(BoundedQueueTest, PushBlocksWhenFullUntilPop) {
+  BoundedQueue<int> q(1);
+  q.push(1);
+  std::atomic<bool> pushed{false};
+  std::thread producer([&] {
+    q.push(2);
+    pushed = true;
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_FALSE(pushed.load());
+  EXPECT_EQ(q.pop(), 1);
+  producer.join();
+  EXPECT_TRUE(pushed.load());
+  EXPECT_EQ(q.pop(), 2);
+}
+
+TEST(BoundedQueueTest, CloseWakesBlockedPopper) {
+  BoundedQueue<int> q(2);
+  std::atomic<bool> woke{false};
+  std::thread consumer([&] {
+    EXPECT_EQ(q.pop(), std::nullopt);
+    woke = true;
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  q.close();
+  consumer.join();
+  EXPECT_TRUE(woke.load());
+}
+
+TEST(BoundedQueueTest, MpscStressDeliversEverythingOnce) {
+  BoundedQueue<int> q(16);
+  constexpr int kProducers = 4;
+  constexpr int kPerProducer = 500;
+  std::vector<std::thread> producers;
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&, p] {
+      for (int i = 0; i < kPerProducer; ++i) {
+        q.push(p * kPerProducer + i);
+      }
+    });
+  }
+  std::vector<bool> seen(kProducers * kPerProducer, false);
+  std::thread consumer([&] {
+    for (int i = 0; i < kProducers * kPerProducer; ++i) {
+      const auto v = q.pop();
+      ASSERT_TRUE(v.has_value());
+      ASSERT_FALSE(seen[std::size_t(*v)]);
+      seen[std::size_t(*v)] = true;
+    }
+  });
+  for (auto& t : producers) t.join();
+  consumer.join();
+  for (bool s : seen) EXPECT_TRUE(s);
+}
+
+}  // namespace
+}  // namespace rtds::runtime

@@ -1,0 +1,142 @@
+// Integration tests of the live threaded runtime. Wall-clock timing is
+// inherently noisy, so deadlines here carry generous margins; the strong
+// assertions are bookkeeping invariants, not exact latencies.
+#include "runtime/threaded_runtime.h"
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "common/rng.h"
+#include "sched/presets.h"
+#include "sched/quantum.h"
+#include "tasks/workload.h"
+
+namespace rtds::runtime {
+namespace {
+
+RuntimeConfig fast_config(std::uint32_t workers) {
+  RuntimeConfig cfg;
+  cfg.num_workers = workers;
+  cfg.comm_cost = msec(1);
+  cfg.vertex_cost = usec(10);
+  cfg.time_scale = 1.0;
+  return cfg;
+}
+
+TEST(ThreadedRuntimeTest, EmptyWorkload) {
+  const auto algo = sched::make_rt_sads();
+  const auto q = sched::make_self_adjusting_quantum(usec(200), msec(5));
+  const RuntimeReport r =
+      run_threaded(*algo, *q, fast_config(2), {});
+  EXPECT_EQ(r.total_tasks, 0u);
+  EXPECT_DOUBLE_EQ(r.hit_ratio(), 1.0);
+}
+
+TEST(ThreadedRuntimeTest, ValidatesConfig) {
+  const auto algo = sched::make_rt_sads();
+  const auto q = sched::make_self_adjusting_quantum(usec(200), msec(5));
+  RuntimeConfig cfg = fast_config(0);
+  EXPECT_THROW(run_threaded(*algo, *q, cfg, {}), InvalidArgument);
+  cfg = fast_config(2);
+  cfg.time_scale = 0.0;
+  EXPECT_THROW(run_threaded(*algo, *q, cfg, {}), InvalidArgument);
+}
+
+TEST(ThreadedRuntimeTest, RejectsUnsortedWorkload) {
+  const auto algo = sched::make_rt_sads();
+  const auto q = sched::make_self_adjusting_quantum(usec(200), msec(5));
+  std::vector<tasks::Task> wl(2);
+  wl[0].id = 0;
+  wl[0].arrival = SimTime{1000};
+  wl[0].processing = msec(1);
+  wl[0].deadline = SimTime{500000};
+  wl[0].affinity.add(0);
+  wl[1] = wl[0];
+  wl[1].id = 1;
+  wl[1].arrival = SimTime{0};
+  EXPECT_THROW(run_threaded(*algo, *q, fast_config(2), wl),
+               InvalidArgument);
+}
+
+TEST(ThreadedRuntimeTest, BooksBalanceOnBurstyWorkload) {
+  const auto algo = sched::make_rt_sads();
+  const auto q = sched::make_self_adjusting_quantum(usec(200), msec(10));
+  tasks::WorkloadConfig wc;
+  wc.num_tasks = 60;
+  wc.num_processors = 4;
+  wc.processing_min = usec(200);
+  wc.processing_max = msec(2);
+  wc.affinity_degree = 0.5;
+  wc.laxity_min = 30.0;  // generous: wall clock jitter tolerated
+  wc.laxity_max = 60.0;
+  Xoshiro256ss rng(3);
+  const auto wl = tasks::generate_workload(wc, rng);
+  const RuntimeReport r = run_threaded(*algo, *q, fast_config(4), wl);
+  EXPECT_EQ(r.total_tasks, 60u);
+  EXPECT_EQ(r.deadline_hits + r.exec_misses, r.scheduled);
+  EXPECT_LE(r.scheduled + r.culled, r.total_tasks);
+  EXPECT_GT(r.phases, 0u);
+  EXPECT_GT(r.vertices_generated, 0u);
+  // With 30-60x laxity virtually everything schedulable should be on time.
+  EXPECT_GT(r.hit_ratio(), 0.8);
+}
+
+TEST(ThreadedRuntimeTest, PoissonArrivalsDrainCompletely) {
+  const auto algo = sched::make_rt_sads();
+  const auto q = sched::make_self_adjusting_quantum(usec(200), msec(10));
+  tasks::WorkloadConfig wc;
+  wc.num_tasks = 40;
+  wc.num_processors = 3;
+  wc.arrival = tasks::ArrivalPattern::kPoisson;
+  wc.mean_interarrival = usec(400);
+  wc.processing_min = usec(100);
+  wc.processing_max = msec(1);
+  wc.affinity_degree = 0.6;
+  wc.laxity_min = 50.0;
+  wc.laxity_max = 100.0;
+  Xoshiro256ss rng(4);
+  const auto wl = tasks::generate_workload(wc, rng);
+  const RuntimeReport r = run_threaded(*algo, *q, fast_config(3), wl);
+  EXPECT_EQ(r.scheduled + r.culled, r.total_tasks);
+  EXPECT_GT(r.elapsed, SimDuration::zero());
+}
+
+TEST(ThreadedRuntimeTest, DColsAlsoRunsLive) {
+  const auto algo = sched::make_d_cols();
+  const auto q = sched::make_self_adjusting_quantum(usec(200), msec(10));
+  tasks::WorkloadConfig wc;
+  wc.num_tasks = 30;
+  wc.num_processors = 2;
+  wc.processing_min = usec(200);
+  wc.processing_max = msec(1);
+  wc.laxity_min = 40.0;
+  wc.laxity_max = 80.0;
+  Xoshiro256ss rng(5);
+  const auto wl = tasks::generate_workload(wc, rng);
+  const RuntimeReport r = run_threaded(*algo, *q, fast_config(2), wl);
+  EXPECT_EQ(r.deadline_hits + r.exec_misses, r.scheduled);
+  EXPECT_GT(r.scheduled, 0u);
+}
+
+TEST(ThreadedRuntimeTest, TimeScaleShrinksWallTime) {
+  const auto algo = sched::make_rt_sads();
+  const auto q = sched::make_self_adjusting_quantum(usec(200), msec(10));
+  tasks::WorkloadConfig wc;
+  wc.num_tasks = 20;
+  wc.num_processors = 2;
+  wc.processing_min = msec(2);
+  wc.processing_max = msec(4);
+  wc.laxity_min = 50.0;
+  wc.laxity_max = 50.0;
+  Xoshiro256ss rng(6);
+  const auto wl = tasks::generate_workload(wc, rng);
+  RuntimeConfig cfg = fast_config(2);
+  cfg.time_scale = 0.25;  // execute at 4x speed
+  const RuntimeReport r = run_threaded(*algo, *q, cfg, wl);
+  EXPECT_EQ(r.scheduled + r.culled, r.total_tasks);
+  // 20 tasks * <=4ms at scale 0.25 over 2 workers: well under a second.
+  EXPECT_LT(r.elapsed, sec(2));
+}
+
+}  // namespace
+}  // namespace rtds::runtime

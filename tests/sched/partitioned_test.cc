@@ -1,0 +1,157 @@
+#include "sched/partitioned.h"
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "common/rng.h"
+#include "sched/presets.h"
+#include "sched/quantum.h"
+#include "tasks/workload.h"
+
+namespace rtds::sched {
+namespace {
+
+tasks::Task affine_task(tasks::TaskId id, std::vector<std::uint32_t> workers) {
+  tasks::Task t;
+  t.id = id;
+  t.processing = msec(2);
+  t.deadline = SimTime::zero() + msec(200);
+  for (std::uint32_t w : workers) t.affinity.add(w);
+  return t;
+}
+
+TEST(RouteShardTest, PicksShardWithMostAffinity) {
+  // 2 shards x 4 workers: task affine to {0, 1, 5} -> shard 0 (2 vs 1).
+  const std::vector<std::uint64_t> counts{0, 0};
+  EXPECT_EQ(route_shard(affine_task(1, {0, 1, 5}), 2, 4, counts), 0u);
+  EXPECT_EQ(route_shard(affine_task(2, {4, 5, 3}), 2, 4, counts), 1u);
+}
+
+TEST(RouteShardTest, TieBreaksOnShardCount) {
+  // Equal affinity on both shards: the emptier shard wins.
+  const std::vector<std::uint64_t> counts{10, 2};
+  EXPECT_EQ(route_shard(affine_task(1, {0, 4}), 2, 4, counts), 1u);
+  const std::vector<std::uint64_t> counts2{2, 10};
+  EXPECT_EQ(route_shard(affine_task(1, {0, 4}), 2, 4, counts2), 0u);
+}
+
+TEST(RouteShardTest, NoLocalAffinityStillRoutesSomewhere) {
+  const std::vector<std::uint64_t> counts{0, 3};
+  // Affinity only on shard 1's workers.
+  EXPECT_EQ(route_shard(affine_task(1, {6, 7}), 2, 4, counts), 1u);
+}
+
+TEST(RunPartitionedTest, ValidatesConfiguration) {
+  const auto algo = make_rt_sads();
+  const auto q = make_self_adjusting_quantum();
+  PartitionedConfig cfg;
+  cfg.num_shards = 3;
+  cfg.total_workers = 8;  // does not divide
+  EXPECT_THROW(run_partitioned(*algo, *q, cfg, {}), InvalidArgument);
+  cfg.num_shards = 0;
+  EXPECT_THROW(run_partitioned(*algo, *q, cfg, {}), InvalidArgument);
+  cfg.num_shards = 9;
+  cfg.total_workers = 8;
+  EXPECT_THROW(run_partitioned(*algo, *q, cfg, {}), InvalidArgument);
+}
+
+TEST(RunPartitionedTest, SingleShardMatchesPlainScheduler) {
+  const auto algo = make_rt_sads();
+  const auto q = make_self_adjusting_quantum(usec(100), msec(10));
+  tasks::WorkloadConfig wc;
+  wc.num_tasks = 150;
+  wc.num_processors = 4;
+  wc.laxity_min = 4.0;
+  wc.laxity_max = 12.0;
+  Xoshiro256ss rng(3);
+  const auto wl = tasks::generate_workload(wc, rng);
+
+  PartitionedConfig cfg;
+  cfg.num_shards = 1;
+  cfg.total_workers = 4;
+  cfg.comm_cost = msec(2);
+  const PartitionedMetrics pm = run_partitioned(*algo, *q, cfg, wl);
+
+  machine::Cluster cluster(4, machine::Interconnect::cut_through(4, msec(2)));
+  sim::Simulator sim;
+  const PhaseScheduler plain(*algo, *q, cfg.driver);
+  const RunMetrics m = plain.run(wl, cluster, sim);
+
+  ASSERT_EQ(pm.shards.size(), 1u);
+  EXPECT_EQ(pm.deadline_hits(), m.deadline_hits);
+  EXPECT_EQ(pm.total_tasks(), m.total_tasks);
+  EXPECT_EQ(pm.finish_time(), m.finish_time);
+}
+
+TEST(RunPartitionedTest, TheoremHoldsAcrossShards) {
+  const auto algo = make_rt_sads();
+  const auto q = make_self_adjusting_quantum(usec(100), msec(10));
+  tasks::WorkloadConfig wc;
+  wc.num_tasks = 400;
+  wc.num_processors = 8;
+  wc.affinity_degree = 0.25;
+  wc.laxity_min = 3.0;
+  wc.laxity_max = 9.0;
+  Xoshiro256ss rng(4);
+  const auto wl = tasks::generate_workload(wc, rng);
+
+  PartitionedConfig cfg;
+  cfg.num_shards = 2;
+  cfg.total_workers = 8;
+  const PartitionedMetrics pm = run_partitioned(*algo, *q, cfg, wl);
+  EXPECT_EQ(pm.exec_misses(), 0u);
+  EXPECT_EQ(pm.total_tasks(), 400u);
+  EXPECT_EQ(pm.shards.size(), 2u);
+  // Routing sends work to both shards with this affinity spread.
+  EXPECT_GT(pm.shards[0].total_tasks, 0u);
+  EXPECT_GT(pm.shards[1].total_tasks, 0u);
+}
+
+TEST(RunPartitionedTest, CrossShardTasksPayCommOnce) {
+  // One task affine only to shard 1 but forced to shard 0 via counts is
+  // not directly constructible through the public API; instead check the
+  // aggregate: tasks with affinity entirely on one shard execute there
+  // (no shard gets a foreign task when routing is free to choose).
+  const auto algo = make_rt_sads();
+  const auto q = make_self_adjusting_quantum(usec(100), msec(10));
+  std::vector<tasks::Task> wl;
+  for (std::uint32_t i = 0; i < 20; ++i) {
+    tasks::Task t = affine_task(i, {i % 2 == 0 ? 0u : 4u});
+    t.deadline = SimTime::zero() + msec(500);
+    wl.push_back(t);
+  }
+  PartitionedConfig cfg;
+  cfg.num_shards = 2;
+  cfg.total_workers = 8;
+  const PartitionedMetrics pm = run_partitioned(*algo, *q, cfg, wl);
+  EXPECT_EQ(pm.shards[0].total_tasks, 10u);
+  EXPECT_EQ(pm.shards[1].total_tasks, 10u);
+  EXPECT_EQ(pm.deadline_hits(), 20u);
+}
+
+TEST(RunPartitionedTest, ShardingHelpsWhenHostBound) {
+  // A large bursty workload on many workers: two hosts beat one.
+  const auto algo = make_rt_sads();
+  const auto q = make_self_adjusting_quantum(usec(100), msec(20));
+  tasks::WorkloadConfig wc;
+  wc.num_tasks = 2000;
+  wc.num_processors = 24;
+  wc.affinity_degree = 0.2;
+  wc.laxity_min = 8.0;
+  wc.laxity_max = 15.0;
+  Xoshiro256ss rng(5);
+  const auto wl = tasks::generate_workload(wc, rng);
+
+  PartitionedConfig one;
+  one.num_shards = 1;
+  one.total_workers = 24;
+  one.driver.vertex_generation_cost = usec(2);
+  PartitionedConfig two = one;
+  two.num_shards = 2;
+  const double h1 = run_partitioned(*algo, *q, one, wl).hit_ratio();
+  const double h2 = run_partitioned(*algo, *q, two, wl).hit_ratio();
+  EXPECT_GT(h2, h1);
+}
+
+}  // namespace
+}  // namespace rtds::sched

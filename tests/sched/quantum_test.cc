@@ -1,0 +1,68 @@
+#include "sched/quantum.h"
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+
+namespace rtds::sched {
+namespace {
+
+TEST(SelfAdjustingQuantumTest, TakesMaxOfSlackAndLoad) {
+  const SelfAdjustingQuantum q(usec(1), sec(10));
+  EXPECT_EQ(q.allocate(msec(5), msec(2)), msec(5));
+  EXPECT_EQ(q.allocate(msec(2), msec(5)), msec(5));
+  EXPECT_EQ(q.allocate(msec(3), msec(3)), msec(3));
+}
+
+TEST(SelfAdjustingQuantumTest, ShrinksWhenSlackShrinksAndWorkersIdle) {
+  // The motivation of Sec. 4.2: small slack + idle workers -> short phase.
+  const SelfAdjustingQuantum q(usec(50), sec(10));
+  const SimDuration tight = q.allocate(usec(200), SimDuration::zero());
+  const SimDuration loose = q.allocate(msec(50), SimDuration::zero());
+  EXPECT_LT(tight, loose);
+  EXPECT_EQ(tight, usec(200));
+}
+
+TEST(SelfAdjustingQuantumTest, ExtendsToLoadWhenWorkersBusy) {
+  // Tasks must wait for workers anyway: use the wait for optimization.
+  const SelfAdjustingQuantum q(usec(50), sec(10));
+  EXPECT_EQ(q.allocate(usec(200), msec(30)), msec(30));
+}
+
+TEST(SelfAdjustingQuantumTest, ClampsToBounds) {
+  const SelfAdjustingQuantum q(msec(1), msec(20));
+  EXPECT_EQ(q.allocate(usec(10), SimDuration::zero()), msec(1));
+  EXPECT_EQ(q.allocate(sec(5), sec(5)), msec(20));
+  EXPECT_EQ(q.min_quantum(), msec(1));
+  EXPECT_EQ(q.max_quantum(), msec(20));
+}
+
+TEST(SelfAdjustingQuantumTest, ValidatesBounds) {
+  EXPECT_THROW(SelfAdjustingQuantum(SimDuration::zero(), msec(1)),
+               InvalidArgument);
+  EXPECT_THROW(SelfAdjustingQuantum(msec(2), msec(1)), InvalidArgument);
+}
+
+TEST(SelfAdjustingQuantumTest, NameMentionsBounds) {
+  const SelfAdjustingQuantum q(msec(1), msec(20));
+  EXPECT_NE(q.name().find("self-adjusting"), std::string::npos);
+  EXPECT_NE(q.name().find("1000us"), std::string::npos);
+}
+
+TEST(FixedQuantumTest, IgnoresInputs) {
+  const FixedQuantum q(msec(7));
+  EXPECT_EQ(q.allocate(usec(1), usec(1)), msec(7));
+  EXPECT_EQ(q.allocate(sec(100), sec(100)), msec(7));
+  EXPECT_THROW(FixedQuantum(SimDuration::zero()), InvalidArgument);
+  EXPECT_NE(q.name().find("fixed"), std::string::npos);
+}
+
+TEST(QuantumFactoriesTest, ProduceCorrectTypes) {
+  const auto sa = make_self_adjusting_quantum(msec(1), msec(10));
+  EXPECT_EQ(sa->allocate(msec(4), msec(2)), msec(4));
+  const auto fx = make_fixed_quantum(msec(3));
+  EXPECT_EQ(fx->allocate(msec(4), msec(2)), msec(3));
+}
+
+}  // namespace
+}  // namespace rtds::sched

@@ -1,0 +1,118 @@
+// White-box tests of the order-cursor optimization: a task proven
+// unplaceable at a vertex is never re-evaluated below it (queue offsets
+// only grow along a path), and the saved evaluations show up in the vertex
+// accounting.
+#include <gtest/gtest.h>
+
+#include "search/engine.h"
+
+namespace rtds::search {
+namespace {
+
+using tasks::AffinitySet;
+
+Task make_task(std::uint32_t id, SimDuration p, SimTime d,
+               AffinitySet affinity) {
+  Task t;
+  t.id = id;
+  t.processing = p;
+  t.deadline = d;
+  t.affinity = affinity;
+  return t;
+}
+
+TEST(CursorTest, SkippedTaskChargedOncePerPath) {
+  // One hopeless task (deadline before delivery) followed by K placeable
+  // tasks on a 2-worker machine. Without cursor inheritance the hopeless
+  // task would cost m vertices at EVERY level; with it, m vertices once.
+  const std::uint32_t m = 2, placeable = 6;
+  const auto net = machine::Interconnect::cut_through(m, SimDuration::zero());
+  std::vector<Task> batch;
+  // EDF-first hopeless task.
+  batch.push_back(
+      make_task(0, msec(1), SimTime::zero() + usec(1), AffinitySet::all(m)));
+  for (std::uint32_t i = 1; i <= placeable; ++i) {
+    batch.push_back(make_task(i, msec(1), SimTime::zero() + msec(100),
+                              AffinitySet::all(m)));
+  }
+  const SearchEngine engine(SearchConfig{});
+  // Budget for exactly one greedy dive IF the hopeless task is charged
+  // once: m vertices for it + m per placeable level. If the engine
+  // re-evaluated the hopeless task at every level, this budget would run
+  // out before the dive completes and fewer tasks would be scheduled.
+  const std::uint64_t dive_budget = m * (placeable + 1);
+  const auto r = engine.run(batch, std::vector<SimDuration>(m, SimDuration{}),
+                            SimTime::zero() + msec(1), net, dive_budget);
+  EXPECT_EQ(r.schedule.size(), placeable);
+  EXPECT_EQ(r.stats.vertices_generated, dive_budget);
+  EXPECT_EQ(r.stats.backtracks, 0u);
+}
+
+TEST(CursorTest, StrictModeStopsAtHopelessTask) {
+  const std::uint32_t m = 2;
+  const auto net = machine::Interconnect::cut_through(m, SimDuration::zero());
+  std::vector<Task> batch;
+  batch.push_back(
+      make_task(0, msec(1), SimTime::zero() + usec(1), AffinitySet::all(m)));
+  batch.push_back(make_task(1, msec(1), SimTime::zero() + msec(100),
+                            AffinitySet::all(m)));
+  SearchConfig cfg;
+  cfg.skip_unplaceable_tasks = false;
+  const auto r = SearchEngine(cfg).run(
+      batch, std::vector<SimDuration>(m, SimDuration{}),
+      SimTime::zero() + msec(1), net, 1000000);
+  EXPECT_TRUE(r.schedule.empty());
+  EXPECT_TRUE(r.stats.dead_end);
+  EXPECT_EQ(r.stats.vertices_generated, m);  // only the hopeless expansion
+}
+
+TEST(CursorTest, SiblingBranchesShareParentScanPosition) {
+  // A hopeless EDF-first task plus two placeable tasks with conflicting
+  // placements that force backtracking. The hopeless task must be charged
+  // once for the root expansion only, not re-charged after the backtrack
+  // (siblings share the parent's cursor).
+  const std::uint32_t m = 2;
+  const auto net = machine::Interconnect::cut_through(m, msec(50));
+  std::vector<Task> batch;
+  batch.push_back(
+      make_task(0, msec(1), SimTime::zero() + usec(1), AffinitySet::all(m)));
+  // t1: feasible on both workers (generous). t2: only worker 0, so tight
+  // that t1 choosing worker 0 first must be undone.
+  AffinitySet both = AffinitySet::all(m);
+  batch.push_back(make_task(1, msec(4), SimTime::zero() + msec(30), both));
+  batch.push_back(make_task(2, msec(4), SimTime::zero() + msec(6),
+                            AffinitySet::single(0)));
+  const SearchEngine engine(SearchConfig{});
+  const auto r = engine.run(batch, std::vector<SimDuration>(m, SimDuration{}),
+                            SimTime::zero() + msec(1), net, 1000000);
+  // Both placeable tasks end up scheduled (t2 first by EDF, on worker 0).
+  ASSERT_EQ(r.schedule.size(), 2u);
+  EXPECT_EQ(batch[r.schedule[0].task_index].id, 2u);
+  // Vertex accounting: root expansion scans hopeless t0 (2) then t2 (2);
+  // each deeper expansion scans only remaining tasks. The hopeless task
+  // must contribute exactly 2 vertices in total.
+  EXPECT_LE(r.stats.vertices_generated, 8u);
+}
+
+TEST(CursorTest, SkipCountsTowardBudgetExhaustion) {
+  // The budget can die inside the skip scan itself.
+  const std::uint32_t m = 4;
+  const auto net = machine::Interconnect::cut_through(m, SimDuration::zero());
+  std::vector<Task> batch;
+  for (std::uint32_t i = 0; i < 5; ++i) {
+    batch.push_back(make_task(i, msec(1), SimTime::zero() + usec(1),
+                              AffinitySet::all(m)));  // all hopeless
+  }
+  batch.push_back(make_task(99, msec(1), SimTime::zero() + msec(100),
+                            AffinitySet::all(m)));
+  const SearchEngine engine(SearchConfig{});
+  // Budget covers only 2.5 hopeless tasks.
+  const auto r = engine.run(batch, std::vector<SimDuration>(m, SimDuration{}),
+                            SimTime::zero() + msec(1), net, 10);
+  EXPECT_TRUE(r.stats.budget_exhausted);
+  EXPECT_TRUE(r.schedule.empty());
+  EXPECT_EQ(r.stats.vertices_generated, 10u);
+}
+
+}  // namespace
+}  // namespace rtds::search

@@ -1,0 +1,110 @@
+// Tests of the sequence-representation level-processor selection rules.
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "search/engine.h"
+
+namespace rtds::search {
+namespace {
+
+using tasks::AffinitySet;
+
+std::vector<Task> uniform_batch(std::uint32_t n, std::uint32_t m) {
+  std::vector<Task> batch;
+  for (std::uint32_t i = 0; i < n; ++i) {
+    Task t;
+    t.id = i;
+    t.processing = msec(1);
+    t.deadline = SimTime::zero() + msec(200);
+    t.affinity = AffinitySet::all(m);
+    batch.push_back(t);
+  }
+  return batch;
+}
+
+SearchConfig seq_cfg(LevelProcessorOrder order) {
+  SearchConfig cfg;
+  cfg.representation = Representation::kSequenceOriented;
+  cfg.use_load_balance_cost = false;
+  cfg.level_processor_order = order;
+  return cfg;
+}
+
+TEST(LevelOrderTest, RoundRobinVisitsProcessorsInIndexOrder) {
+  const std::uint32_t m = 3;
+  const auto net = machine::Interconnect::cut_through(m, msec(1));
+  const auto batch = uniform_batch(6, m);
+  const auto r =
+      SearchEngine(seq_cfg(LevelProcessorOrder::kRoundRobin))
+          .run(batch, std::vector<SimDuration>(m, SimDuration{}),
+               SimTime::zero() + msec(1), net, 1000000);
+  ASSERT_EQ(r.schedule.size(), 6u);
+  for (std::size_t i = 0; i < r.schedule.size(); ++i) {
+    EXPECT_EQ(r.schedule[i].worker, i % m);
+  }
+}
+
+TEST(LevelOrderTest, LeastLoadedPrefersIdleWorker) {
+  // Worker 0 starts preloaded; the least-loaded rule must fill workers 1
+  // and 2 first even though round-robin would begin at 0.
+  const std::uint32_t m = 3;
+  const auto net = machine::Interconnect::cut_through(m, msec(1));
+  const auto batch = uniform_batch(4, m);
+  const std::vector<SimDuration> base{msec(10), SimDuration::zero(),
+                                      SimDuration::zero()};
+  const auto r =
+      SearchEngine(seq_cfg(LevelProcessorOrder::kLeastLoaded))
+          .run(batch, base, SimTime::zero() + msec(1), net, 1000000);
+  ASSERT_EQ(r.schedule.size(), 4u);
+  EXPECT_NE(r.schedule[0].worker, 0u);
+  EXPECT_NE(r.schedule[1].worker, 0u);
+  // With 10ms preload vs 1ms tasks, worker 0 never wins a level here.
+  for (const Assignment& a : r.schedule) {
+    EXPECT_NE(a.worker, 0u);
+  }
+}
+
+TEST(LevelOrderTest, LeastLoadedBalancesUniformBurst) {
+  const std::uint32_t m = 4;
+  const auto net = machine::Interconnect::cut_through(m, msec(1));
+  const auto batch = uniform_batch(12, m);
+  const auto r =
+      SearchEngine(seq_cfg(LevelProcessorOrder::kLeastLoaded))
+          .run(batch, std::vector<SimDuration>(m, SimDuration{}),
+               SimTime::zero() + msec(1), net, 1000000);
+  ASSERT_EQ(r.schedule.size(), 12u);
+  std::vector<int> per_worker(m, 0);
+  for (const Assignment& a : r.schedule) ++per_worker[a.worker];
+  for (int c : per_worker) EXPECT_EQ(c, 3);
+}
+
+TEST(LevelOrderTest, FeasibilityInvariantHolds) {
+  Xoshiro256ss rng(3);
+  const std::uint32_t m = 4;
+  const auto net = machine::Interconnect::cut_through(m, msec(3));
+  for (int trial = 0; trial < 10; ++trial) {
+    std::vector<Task> batch;
+    for (std::uint32_t i = 0; i < 40; ++i) {
+      Task t;
+      t.id = i;
+      t.processing = rng.uniform_duration(usec(200), msec(4));
+      t.deadline = SimTime::zero() + rng.uniform_duration(msec(3), msec(30));
+      t.affinity.add(i % m);
+      batch.push_back(t);
+    }
+    const SimTime delivery = SimTime::zero() + msec(2);
+    const auto r =
+        SearchEngine(seq_cfg(LevelProcessorOrder::kLeastLoaded))
+            .run(batch, std::vector<SimDuration>(m, SimDuration{}), delivery,
+                 net, 5000);
+    std::vector<SimTime> horizon(m, delivery);
+    for (const Assignment& a : r.schedule) {
+      const Task& t = batch[a.task_index];
+      horizon[a.worker] += t.processing + net.comm_cost(t.affinity, a.worker);
+      ASSERT_LE(horizon[a.worker], t.deadline);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace rtds::search

@@ -1,0 +1,152 @@
+// Oracle tests: exhaustive brute force over task-to-worker assignments on
+// tiny instances, checked against the search engine.
+//
+// Completeness property: if ANY complete feasible schedule exists, the
+// assignment-oriented depth-first search with an ample budget finds a
+// complete schedule. (Why the engine's fixed EDF task order loses nothing:
+// per worker, any feasible set can be EDF-sorted and stay feasible —
+// single-machine EDF optimality — and the engine's global EDF construction
+// induces exactly per-worker EDF order, while backtracking covers every
+// worker choice.)
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/rng.h"
+#include "search/engine.h"
+
+namespace rtds::search {
+namespace {
+
+using tasks::ProcessorId;
+
+/// Brute force: enumerate all m^n worker assignments; for each, sequence
+/// every worker's set in EDF order and test feasibility against the same
+/// delivery-time bound the engine uses.
+bool exists_complete_schedule(const std::vector<Task>& batch,
+                              const machine::Interconnect& net,
+                              SimTime delivery,
+                              const std::vector<SimDuration>& base) {
+  const std::uint32_t n = static_cast<std::uint32_t>(batch.size());
+  const std::uint32_t m = net.num_workers();
+  // EDF order of the batch (stable).
+  std::vector<std::uint32_t> order(n);
+  for (std::uint32_t i = 0; i < n; ++i) order[i] = i;
+  std::stable_sort(order.begin(), order.end(),
+                   [&](std::uint32_t a, std::uint32_t b) {
+                     return batch[a].deadline < batch[b].deadline;
+                   });
+
+  std::vector<ProcessorId> choice(n, 0);
+  std::uint64_t total = 1;
+  for (std::uint32_t i = 0; i < n; ++i) total *= m;
+  for (std::uint64_t code = 0; code < total; ++code) {
+    std::uint64_t c = code;
+    for (std::uint32_t i = 0; i < n; ++i) {
+      choice[i] = static_cast<ProcessorId>(c % m);
+      c /= m;
+    }
+    // Feasibility with per-worker EDF sequencing.
+    std::vector<SimDuration> ce = base;
+    bool ok = true;
+    for (std::uint32_t idx : order) {
+      const Task& t = batch[idx];
+      const ProcessorId w = choice[idx];
+      ce[w] += t.processing + net.comm_cost(t.affinity, w);
+      if (delivery + ce[w] > t.deadline) {
+        ok = false;
+        break;
+      }
+    }
+    if (ok) return true;
+  }
+  return false;
+}
+
+TEST(OracleTest, EngineFindsCompleteScheduleIffOneExists) {
+  Xoshiro256ss rng(2024);
+  SearchConfig cfg;  // RT-SADS defaults
+  const SearchEngine engine(cfg);
+
+  int instances_with_solution = 0;
+  int instances_without = 0;
+  for (int trial = 0; trial < 150; ++trial) {
+    const std::uint32_t n = 2 + std::uint32_t(rng.uniform_int(0, 4));  // 2..6
+    const std::uint32_t m = 2 + std::uint32_t(rng.uniform_int(0, 1));  // 2..3
+    const auto net = machine::Interconnect::cut_through(
+        m, rng.uniform_duration(SimDuration::zero(), msec(4)));
+    std::vector<Task> batch;
+    for (std::uint32_t i = 0; i < n; ++i) {
+      Task t;
+      t.id = i;
+      t.processing = rng.uniform_duration(msec(1), msec(4));
+      // Tight-ish deadlines so both outcomes occur.
+      t.deadline = SimTime::zero() +
+                   rng.uniform_duration(msec(3), msec(12));
+      for (std::uint32_t k = 0; k < m; ++k) {
+        if (rng.bernoulli(0.5)) t.affinity.add(k);
+      }
+      if (t.affinity.empty()) t.affinity.add(i % m);
+      batch.push_back(t);
+    }
+    std::vector<SimDuration> base(m);
+    for (auto& b : base) {
+      b = rng.uniform_duration(SimDuration::zero(), msec(2));
+    }
+    const SimTime delivery = SimTime::zero() + msec(1);
+
+    const bool oracle =
+        exists_complete_schedule(batch, net, delivery, base);
+    const auto r = engine.run(batch, base, delivery, net, 10'000'000);
+
+    if (oracle) {
+      ++instances_with_solution;
+      EXPECT_TRUE(r.stats.reached_leaf)
+          << "trial " << trial << ": oracle found a complete schedule, "
+          << "engine did not (n=" << n << " m=" << m << ")";
+      EXPECT_EQ(r.schedule.size(), n);
+    } else {
+      ++instances_without;
+      EXPECT_FALSE(r.stats.reached_leaf)
+          << "trial " << trial << ": engine claims a complete schedule "
+          << "the oracle says cannot exist";
+      EXPECT_LT(r.schedule.size(), n);
+    }
+  }
+  // The generator must actually exercise both outcomes.
+  EXPECT_GT(instances_with_solution, 20);
+  EXPECT_GT(instances_without, 20);
+}
+
+TEST(OracleTest, EngineScheduleAlwaysReplaysFeasibly) {
+  // Independent re-check of the engine's output on the same tiny grid,
+  // including partial schedules under small budgets.
+  Xoshiro256ss rng(77);
+  const SearchEngine engine(SearchConfig{});
+  for (int trial = 0; trial < 100; ++trial) {
+    const std::uint32_t n = 4, m = 3;
+    const auto net = machine::Interconnect::cut_through(m, msec(2));
+    std::vector<Task> batch;
+    for (std::uint32_t i = 0; i < n; ++i) {
+      Task t;
+      t.id = i;
+      t.processing = rng.uniform_duration(msec(1), msec(3));
+      t.deadline = SimTime::zero() + rng.uniform_duration(msec(2), msec(10));
+      t.affinity.add(ProcessorId(rng.uniform_int(0, m - 1)));
+      batch.push_back(t);
+    }
+    const SimTime delivery = SimTime::zero() + msec(1);
+    const auto budget = std::uint64_t(rng.uniform_int(1, 60));
+    const auto r = engine.run(batch, std::vector<SimDuration>(m, SimDuration{}),
+                              delivery, net, budget);
+    std::vector<SimTime> horizon(m, delivery);
+    for (const Assignment& a : r.schedule) {
+      const Task& t = batch[a.task_index];
+      horizon[a.worker] += t.processing + net.comm_cost(t.affinity, a.worker);
+      ASSERT_LE(horizon[a.worker], t.deadline);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace rtds::search

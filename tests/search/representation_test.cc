@@ -1,0 +1,242 @@
+// Tests of the paper's Sec. 3 claims about the two search representations:
+// pruned sequence-oriented search reaches dead-ends more often, terminates
+// at shallower depths, and concentrates tasks on a prefix of the processors,
+// while assignment-oriented search exploits all machines greedily.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/rng.h"
+#include "search/engine.h"
+
+namespace rtds::search {
+namespace {
+
+using tasks::AffinitySet;
+using tasks::ProcessorId;
+
+std::vector<Task> random_batch(std::uint32_t n, std::uint32_t m,
+                               double affinity_degree, double laxity,
+                               Xoshiro256ss& rng) {
+  std::vector<Task> batch;
+  batch.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    Task t;
+    t.id = i;
+    t.processing = rng.uniform_duration(msec(1), msec(5));
+    t.deadline =
+        SimTime::zero() +
+        SimDuration{std::int64_t(laxity * double(t.processing.us))};
+    for (std::uint32_t k = 0; k < m; ++k) {
+      if (rng.bernoulli(affinity_degree)) t.affinity.add(k);
+    }
+    if (t.affinity.empty()) {
+      t.affinity.add(static_cast<ProcessorId>(rng.uniform_int(0, m - 1)));
+    }
+    batch.push_back(t);
+  }
+  return batch;
+}
+
+SearchConfig assignment_cfg() {
+  SearchConfig cfg;
+  cfg.representation = Representation::kAssignmentOriented;
+  cfg.use_load_balance_cost = true;
+  return cfg;
+}
+
+SearchConfig sequence_cfg() {
+  SearchConfig cfg;
+  cfg.representation = Representation::kSequenceOriented;
+  cfg.use_load_balance_cost = false;
+  return cfg;
+}
+
+TEST(RepresentationTest, AssignmentOrientedBranchingIsProcessorCount) {
+  // One expansion of the root generates exactly m vertices.
+  Xoshiro256ss rng(1);
+  const std::uint32_t m = 6;
+  auto batch = random_batch(30, m, 1.0, 50.0, rng);
+  const auto net = machine::Interconnect::cut_through(m, msec(1));
+  const auto r = SearchEngine(assignment_cfg())
+                     .run(batch, std::vector<SimDuration>(m, SimDuration{}),
+                          SimTime::zero() + msec(1), net, m);
+  EXPECT_EQ(r.stats.vertices_generated, m);
+  EXPECT_EQ(r.stats.expansions, 1u);
+}
+
+TEST(RepresentationTest, SequenceOrientedBranchingIsBatchSize) {
+  // One expansion of the root generates up to n vertices (all unassigned
+  // tasks on the level's processor).
+  Xoshiro256ss rng(2);
+  const std::uint32_t m = 6, n = 30;
+  auto batch = random_batch(n, m, 1.0, 50.0, rng);
+  const auto net = machine::Interconnect::cut_through(m, msec(1));
+  const auto r = SearchEngine(sequence_cfg())
+                     .run(batch, std::vector<SimDuration>(m, SimDuration{}),
+                          SimTime::zero() + msec(1), net, n);
+  EXPECT_EQ(r.stats.vertices_generated, n);
+  EXPECT_EQ(r.stats.expansions, 1u);
+}
+
+TEST(RepresentationTest, EqualBudgetSchedulesMoreTasksAssignmentOriented) {
+  // The core scalability mechanism: with the same vertex budget, the
+  // sequence-oriented representation pays ~n vertices per scheduled task
+  // while the assignment-oriented one pays ~m.
+  Xoshiro256ss rng(3);
+  const std::uint32_t m = 8, n = 100;
+  const auto net = machine::Interconnect::cut_through(m, msec(2));
+  std::uint64_t asg_total = 0, seq_total = 0;
+  for (int trial = 0; trial < 10; ++trial) {
+    auto batch = random_batch(n, m, 0.3, 60.0, rng);
+    const std::uint64_t budget = 400;
+    const auto asg = SearchEngine(assignment_cfg())
+                         .run(batch, std::vector<SimDuration>(m, SimDuration{}),
+                              SimTime::zero() + msec(1), net, budget);
+    const auto seq = SearchEngine(sequence_cfg())
+                         .run(batch, std::vector<SimDuration>(m, SimDuration{}),
+                              SimTime::zero() + msec(1), net, budget);
+    asg_total += asg.schedule.size();
+    seq_total += seq.schedule.size();
+  }
+  EXPECT_GT(asg_total, 2 * seq_total);
+}
+
+TEST(RepresentationTest, SequenceOrientedLeavesProcessorsIdleAtShallowDepth) {
+  // When the search stops at depth < m, only the first processors of the
+  // round-robin order have tasks ("many processors remain idle while
+  // others are heavily loaded").
+  Xoshiro256ss rng(4);
+  const std::uint32_t m = 10, n = 50;
+  const auto net = machine::Interconnect::cut_through(m, msec(2));
+  auto batch = random_batch(n, m, 1.0, 80.0, rng);
+  const std::uint64_t budget = 3 * n;  // a handful of levels at most
+  const auto seq = SearchEngine(sequence_cfg())
+                       .run(batch, std::vector<SimDuration>(m, SimDuration{}),
+                            SimTime::zero() + msec(1), net, budget);
+  // Levels cost ~n, n-1, n-2, ... vertices, so at most 4 levels complete.
+  ASSERT_LE(seq.schedule.size(), 4u);
+  std::set<ProcessorId> used;
+  for (const Assignment& a : seq.schedule) used.insert(a.worker);
+  for (ProcessorId w : used) EXPECT_LT(w, 4u);
+
+  const auto asg = SearchEngine(assignment_cfg())
+                       .run(batch, std::vector<SimDuration>(m, SimDuration{}),
+                            SimTime::zero() + msec(1), net, budget);
+  // Same budget: assignment-oriented spreads across many more workers.
+  std::set<ProcessorId> asg_used;
+  for (const Assignment& a : asg.schedule) asg_used.insert(a.worker);
+  EXPECT_GT(asg_used.size(), used.size());
+}
+
+TEST(RepresentationTest, LowAffinityEqualBudgetFavorsAssignmentOriented) {
+  // With rare affinity and a large C, only affine placements are feasible.
+  // Under the paper's equal-quantum regime the assignment-oriented search
+  // routes each task straight to its holders at cost ~m vertices, while the
+  // sequence-oriented search pays ~n vertices per level — so with the same
+  // budget it schedules far fewer tasks.
+  Xoshiro256ss rng(5);
+  const std::uint32_t m = 8, n = 40;
+  const auto net = machine::Interconnect::cut_through(m, msec(100));
+  std::uint64_t seq_scheduled = 0, asg_scheduled = 0;
+  for (int trial = 0; trial < 20; ++trial) {
+    auto batch = random_batch(n, m, 0.12, 3.0, rng);
+    const std::uint64_t budget = 8 * n;  // same quantum for both
+    const auto seq = SearchEngine(sequence_cfg())
+                         .run(batch, std::vector<SimDuration>(m, SimDuration{}),
+                              SimTime::zero(), net, budget);
+    const auto asg = SearchEngine(assignment_cfg())
+                         .run(batch, std::vector<SimDuration>(m, SimDuration{}),
+                              SimTime::zero(), net, budget);
+    seq_scheduled += seq.schedule.size();
+    asg_scheduled += asg.schedule.size();
+  }
+  EXPECT_GT(asg_scheduled, seq_scheduled);
+}
+
+TEST(RepresentationTest, UnplaceableTaskSkippingKeepsPhasesProductive) {
+  // A tight task whose only holder is saturated must not stall the whole
+  // phase: with skipping (default) the other tasks still get scheduled;
+  // with the strict expansion rule the phase dead-ends almost empty.
+  const std::uint32_t m = 2;
+  const auto net = machine::Interconnect::cut_through(m, sec(10));
+  std::vector<Task> batch;
+  // Task 0: earliest deadline, impossible (worker 0 pre-loaded past d).
+  Task stuck;
+  stuck.id = 0;
+  stuck.processing = msec(2);
+  stuck.deadline = SimTime::zero() + msec(4);
+  stuck.affinity.add(0);
+  batch.push_back(stuck);
+  for (std::uint32_t i = 1; i <= 6; ++i) {
+    Task t;
+    t.id = i;
+    t.processing = msec(1);
+    t.deadline = SimTime::zero() + msec(100);
+    t.affinity.add(1);
+    batch.push_back(t);
+  }
+  const std::vector<SimDuration> base{msec(50), SimDuration::zero()};
+
+  SearchConfig skipping = assignment_cfg();
+  const auto with_skip = SearchEngine(skipping).run(
+      batch, base, SimTime::zero() + msec(1), net, 100000);
+  EXPECT_EQ(with_skip.schedule.size(), 6u);
+
+  SearchConfig strict = assignment_cfg();
+  strict.skip_unplaceable_tasks = false;
+  const auto no_skip = SearchEngine(strict).run(
+      batch, base, SimTime::zero() + msec(1), net, 100000);
+  EXPECT_TRUE(no_skip.schedule.empty());
+  EXPECT_TRUE(no_skip.stats.dead_end);
+}
+
+TEST(RepresentationTest, BothProduceOnlyFeasibleSchedules) {
+  // Shared invariant across representations (feeds the correction theorem).
+  Xoshiro256ss rng(6);
+  const std::uint32_t m = 6;
+  const auto net = machine::Interconnect::cut_through(m, msec(4));
+  for (const auto& cfg : {assignment_cfg(), sequence_cfg()}) {
+    for (int trial = 0; trial < 10; ++trial) {
+      auto batch = random_batch(60, m, 0.3, 8.0, rng);
+      const SimTime delivery = SimTime::zero() + msec(3);
+      const auto r = SearchEngine(cfg).run(
+          batch, std::vector<SimDuration>(m, usec(500)), delivery, net, 2000);
+      std::vector<SimTime> horizon(m, delivery + usec(500));
+      for (const Assignment& a : r.schedule) {
+        const Task& t = batch[a.task_index];
+        horizon[a.worker] +=
+            t.processing + net.comm_cost(t.affinity, a.worker);
+        ASSERT_LE(horizon[a.worker], t.deadline);
+      }
+    }
+  }
+}
+
+TEST(RepresentationTest, PrunedSequenceSearchDeadEndsMoreOften) {
+  // max_successors (the "limited backtracking" pruning the paper says
+  // dynamic algorithms are forced to adopt) raises the dead-end
+  // probability of the sequence-oriented representation (Sec. 3).
+  Xoshiro256ss rng(7);
+  const std::uint32_t m = 8, n = 40;
+  const auto net = machine::Interconnect::cut_through(m, msec(60));
+  int pruned_dead_ends = 0, full_dead_ends = 0;
+  for (int trial = 0; trial < 15; ++trial) {
+    auto batch = random_batch(n, m, 0.2, 4.0, rng);
+    SearchConfig pruned = sequence_cfg();
+    pruned.max_successors = 1;
+    const auto rp = SearchEngine(pruned).run(
+        batch, std::vector<SimDuration>(m, SimDuration{}), SimTime::zero(),
+        net, 1000000);
+    const auto rf = SearchEngine(sequence_cfg())
+                        .run(batch, std::vector<SimDuration>(m, SimDuration{}),
+                             SimTime::zero(), net, 1000000);
+    pruned_dead_ends += rp.stats.dead_end ? 1 : 0;
+    full_dead_ends += rf.stats.dead_end ? 1 : 0;
+  }
+  EXPECT_GE(pruned_dead_ends, full_dead_ends);
+  EXPECT_GT(pruned_dead_ends, 0);
+}
+
+}  // namespace
+}  // namespace rtds::search

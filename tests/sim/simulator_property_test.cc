@@ -1,0 +1,116 @@
+// Randomized property tests of the discrete-event engine.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/rng.h"
+#include "sim/simulator.h"
+
+namespace rtds::sim {
+namespace {
+
+TEST(SimulatorPropertyTest, ArbitraryInsertionFiresInTimeThenFifoOrder) {
+  Xoshiro256ss rng(1);
+  for (int trial = 0; trial < 30; ++trial) {
+    Simulator sim;
+    struct Fired {
+      std::int64_t time;
+      int seq;
+    };
+    std::vector<Fired> fired;
+    const int kEvents = 200;
+    for (int i = 0; i < kEvents; ++i) {
+      const std::int64_t t = rng.uniform_int(0, 50);  // many collisions
+      sim.schedule_at(SimTime{t}, [&fired, t, i] {
+        fired.push_back({t, i});
+      });
+    }
+    sim.run();
+    ASSERT_EQ(fired.size(), std::size_t(kEvents));
+    for (std::size_t i = 1; i < fired.size(); ++i) {
+      ASSERT_LE(fired[i - 1].time, fired[i].time);
+      if (fired[i - 1].time == fired[i].time) {
+        // FIFO among equal timestamps: scheduling order is firing order.
+        ASSERT_LT(fired[i - 1].seq, fired[i].seq);
+      }
+    }
+  }
+}
+
+TEST(SimulatorPropertyTest, RandomCancellationNeverFiresCancelled) {
+  Xoshiro256ss rng(2);
+  for (int trial = 0; trial < 20; ++trial) {
+    Simulator sim;
+    const int kEvents = 100;
+    std::vector<EventHandle> handles;
+    std::vector<bool> fired(kEvents, false);
+    handles.reserve(kEvents);
+    for (int i = 0; i < kEvents; ++i) {
+      const std::int64_t t = rng.uniform_int(0, 1000);
+      handles.push_back(
+          sim.schedule_at(SimTime{t}, [&fired, i] { fired[std::size_t(i)] = true; }));
+    }
+    std::vector<bool> cancelled(kEvents, false);
+    for (int i = 0; i < kEvents; ++i) {
+      if (rng.bernoulli(0.4)) {
+        handles[std::size_t(i)].cancel();
+        cancelled[std::size_t(i)] = true;
+      }
+    }
+    sim.run();
+    for (int i = 0; i < kEvents; ++i) {
+      ASSERT_EQ(fired[std::size_t(i)], !cancelled[std::size_t(i)]);
+    }
+  }
+}
+
+TEST(SimulatorPropertyTest, NestedSchedulingKeepsClockMonotone) {
+  Xoshiro256ss rng(3);
+  Simulator sim;
+  SimTime last = SimTime::zero();
+  int remaining = 500;
+  std::function<void()> handler = [&] {
+    ASSERT_GE(sim.now(), last);
+    last = sim.now();
+    if (--remaining > 0) {
+      sim.schedule_after(SimDuration{rng.uniform_int(0, 100)}, handler);
+    }
+  };
+  sim.schedule_at(SimTime::zero(), handler);
+  sim.run();
+  EXPECT_EQ(remaining, 0);
+}
+
+TEST(SimulatorPropertyTest, RunUntilPartitionsExactlyOnce) {
+  // Running in random chunks fires every event exactly once, in the same
+  // order as one big run.
+  Xoshiro256ss rng(4);
+  std::vector<std::pair<std::int64_t, int>> plan;
+  for (int i = 0; i < 300; ++i) {
+    plan.emplace_back(rng.uniform_int(0, 5000), i);
+  }
+
+  const auto run_with_chunks = [&](bool chunked) {
+    Simulator sim;
+    std::vector<int> fired;
+    for (const auto& [t, id] : plan) {
+      sim.schedule_at(SimTime{t}, [&fired, id = id] { fired.push_back(id); });
+    }
+    if (chunked) {
+      SimTime cursor = SimTime::zero();
+      Xoshiro256ss chunk_rng(5);
+      while (!sim.idle()) {
+        cursor += SimDuration{chunk_rng.uniform_int(1, 700)};
+        sim.run_until(cursor);
+      }
+    } else {
+      sim.run();
+    }
+    return fired;
+  };
+
+  EXPECT_EQ(run_with_chunks(true), run_with_chunks(false));
+}
+
+}  // namespace
+}  // namespace rtds::sim

@@ -1,0 +1,122 @@
+#include "tasks/batch.h"
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+
+namespace rtds::tasks {
+namespace {
+
+Task make_task(TaskId id, SimDuration p, SimTime d) {
+  Task t;
+  t.id = id;
+  t.processing = p;
+  t.deadline = d;
+  t.affinity.add(0);
+  return t;
+}
+
+TEST(BatchTest, StartsEmpty) {
+  Batch b;
+  EXPECT_TRUE(b.empty());
+  EXPECT_EQ(b.size(), 0u);
+  EXPECT_THROW(static_cast<void>(b.min_slack(SimTime::zero())), InvalidArgument);
+}
+
+TEST(BatchTest, MergePreservesOrder) {
+  Batch b;
+  b.merge_arrivals({make_task(1, msec(1), SimTime{100000}),
+                    make_task(2, msec(1), SimTime{100000})});
+  b.merge_arrivals({make_task(3, msec(1), SimTime{100000})});
+  ASSERT_EQ(b.size(), 3u);
+  EXPECT_EQ(b.tasks()[0].id, 1u);
+  EXPECT_EQ(b.tasks()[1].id, 2u);
+  EXPECT_EQ(b.tasks()[2].id, 3u);
+}
+
+TEST(BatchTest, RejectsDuplicateIds) {
+  Batch b;
+  b.merge_arrivals({make_task(1, msec(1), SimTime{100000})});
+  EXPECT_THROW(b.merge_arrivals({make_task(1, msec(1), SimTime{100000})}),
+               InvalidArgument);
+}
+
+TEST(BatchTest, RemoveScheduledDropsOnlyListed) {
+  Batch b;
+  b.merge_arrivals({make_task(1, msec(1), SimTime{100000}),
+                    make_task(2, msec(1), SimTime{100000}),
+                    make_task(3, msec(1), SimTime{100000})});
+  b.remove_scheduled({1, 3});
+  ASSERT_EQ(b.size(), 1u);
+  EXPECT_EQ(b.tasks()[0].id, 2u);
+  // Unknown ids are ignored.
+  b.remove_scheduled({42});
+  EXPECT_EQ(b.size(), 1u);
+}
+
+TEST(BatchTest, RemovedIdsCanReappearAsNewTasks) {
+  // After a task leaves the batch its id is free again (the driver never
+  // reuses ids, but the container must not keep ghosts).
+  Batch b;
+  b.merge_arrivals({make_task(1, msec(1), SimTime{100000})});
+  b.remove_scheduled({1});
+  EXPECT_TRUE(b.empty());
+  b.merge_arrivals({make_task(1, msec(2), SimTime{100000})});
+  EXPECT_EQ(b.size(), 1u);
+}
+
+TEST(BatchTest, CullMissedRemovesUnreachable) {
+  Batch b;
+  // Task 1 reachable at t=0; task 2 unreachable (p=5ms, d=2ms).
+  b.merge_arrivals({make_task(1, msec(1), SimTime::zero() + msec(10)),
+                    make_task(2, msec(5), SimTime::zero() + msec(2))});
+  const auto culled = b.cull_missed(SimTime::zero());
+  ASSERT_EQ(culled.size(), 1u);
+  EXPECT_EQ(culled[0].id, 2u);
+  EXPECT_EQ(b.size(), 1u);
+  EXPECT_EQ(b.tasks()[0].id, 1u);
+}
+
+TEST(BatchTest, CullMissedIsTimeSensitive) {
+  Batch b;
+  b.merge_arrivals({make_task(1, msec(2), SimTime::zero() + msec(10))});
+  EXPECT_TRUE(b.cull_missed(SimTime::zero() + msec(8)).empty());
+  EXPECT_EQ(b.cull_missed(SimTime::zero() + msec(9)).size(), 1u);
+  EXPECT_TRUE(b.empty());
+}
+
+TEST(BatchTest, CulledTaskIdIsReleased) {
+  Batch b;
+  b.merge_arrivals({make_task(7, msec(5), SimTime::zero() + msec(1))});
+  EXPECT_EQ(b.cull_missed(SimTime::zero()).size(), 1u);
+  b.merge_arrivals({make_task(7, msec(1), SimTime::zero() + msec(100))});
+  EXPECT_EQ(b.size(), 1u);
+}
+
+TEST(BatchTest, MinSlackFindsTightestTask) {
+  Batch b;
+  b.merge_arrivals({make_task(1, msec(2), SimTime::zero() + msec(20)),
+                    make_task(2, msec(5), SimTime::zero() + msec(9)),
+                    make_task(3, msec(1), SimTime::zero() + msec(30))});
+  // Slacks at t=0: 18ms, 4ms, 29ms.
+  EXPECT_EQ(b.min_slack(SimTime::zero()), msec(4));
+  // At t = 2ms: 16, 2, 27.
+  EXPECT_EQ(b.min_slack(SimTime::zero() + msec(2)), msec(2));
+}
+
+TEST(BatchTest, TotalProcessingSums) {
+  Batch b;
+  b.merge_arrivals({make_task(1, msec(2), SimTime{1000000}),
+                    make_task(2, msec(3), SimTime{1000000})});
+  EXPECT_EQ(b.total_processing(), msec(5));
+}
+
+TEST(BatchTest, ClearEmptiesEverything) {
+  Batch b;
+  b.merge_arrivals({make_task(1, msec(2), SimTime{1000000})});
+  b.clear();
+  EXPECT_TRUE(b.empty());
+}
+
+}  // namespace
+}  // namespace rtds::tasks

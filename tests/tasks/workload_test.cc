@@ -1,0 +1,166 @@
+#include "tasks/workload.h"
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+
+namespace rtds::tasks {
+namespace {
+
+WorkloadConfig base_config() {
+  WorkloadConfig cfg;
+  cfg.num_tasks = 200;
+  cfg.num_processors = 8;
+  cfg.processing_min = msec(1);
+  cfg.processing_max = msec(10);
+  cfg.affinity_degree = 0.3;
+  cfg.laxity_min = 5.0;
+  cfg.laxity_max = 10.0;
+  return cfg;
+}
+
+TEST(WorkloadTest, GeneratesRequestedCount) {
+  Xoshiro256ss rng(1);
+  const auto tasks = generate_workload(base_config(), rng);
+  EXPECT_EQ(tasks.size(), 200u);
+}
+
+TEST(WorkloadTest, SequentialIdsFromFirstId) {
+  WorkloadConfig cfg = base_config();
+  cfg.first_id = 1000;
+  Xoshiro256ss rng(1);
+  const auto tasks = generate_workload(cfg, rng);
+  // Bursty arrivals: stable sort preserves generation order.
+  for (std::size_t i = 0; i < tasks.size(); ++i) {
+    EXPECT_EQ(tasks[i].id, 1000 + i);
+  }
+}
+
+TEST(WorkloadTest, BurstyArrivalsAllAtStart) {
+  WorkloadConfig cfg = base_config();
+  cfg.start = SimTime{500};
+  Xoshiro256ss rng(2);
+  for (const Task& t : generate_workload(cfg, rng)) {
+    EXPECT_EQ(t.arrival, SimTime{500});
+  }
+}
+
+TEST(WorkloadTest, PoissonArrivalsSortedAndIncreasing) {
+  WorkloadConfig cfg = base_config();
+  cfg.arrival = ArrivalPattern::kPoisson;
+  cfg.mean_interarrival = msec(2);
+  Xoshiro256ss rng(3);
+  const auto tasks = generate_workload(cfg, rng);
+  for (std::size_t i = 1; i < tasks.size(); ++i) {
+    EXPECT_LE(tasks[i - 1].arrival, tasks[i].arrival);
+  }
+  EXPECT_GT(tasks.back().arrival, cfg.start);
+}
+
+TEST(WorkloadTest, PoissonMeanGapRoughlyMatches) {
+  WorkloadConfig cfg = base_config();
+  cfg.num_tasks = 5000;
+  cfg.arrival = ArrivalPattern::kPoisson;
+  cfg.mean_interarrival = msec(2);
+  Xoshiro256ss rng(4);
+  const auto tasks = generate_workload(cfg, rng);
+  const double total_us = double((tasks.back().arrival - cfg.start).us);
+  EXPECT_NEAR(total_us / double(cfg.num_tasks), 2000.0, 200.0);
+}
+
+TEST(WorkloadTest, ProcessingTimesWithinBounds) {
+  Xoshiro256ss rng(5);
+  for (const Task& t : generate_workload(base_config(), rng)) {
+    EXPECT_GE(t.processing, msec(1));
+    EXPECT_LE(t.processing, msec(10));
+  }
+}
+
+TEST(WorkloadTest, EveryTaskHasAtLeastOneAffineProcessor) {
+  WorkloadConfig cfg = base_config();
+  cfg.affinity_degree = 0.0;  // forces the fallback path
+  Xoshiro256ss rng(6);
+  for (const Task& t : generate_workload(cfg, rng)) {
+    EXPECT_EQ(t.affinity.count(), 1u);
+  }
+}
+
+TEST(WorkloadTest, FullAffinityDegreeCoversAllProcessors) {
+  WorkloadConfig cfg = base_config();
+  cfg.affinity_degree = 1.0;
+  Xoshiro256ss rng(7);
+  for (const Task& t : generate_workload(cfg, rng)) {
+    EXPECT_EQ(t.affinity.count(), cfg.num_processors);
+  }
+}
+
+TEST(WorkloadTest, AffinityDegreeMatchesProbability) {
+  WorkloadConfig cfg = base_config();
+  cfg.num_tasks = 5000;
+  cfg.affinity_degree = 0.4;
+  Xoshiro256ss rng(8);
+  const auto tasks = generate_workload(cfg, rng);
+  double total = 0;
+  for (const Task& t : tasks) total += t.affinity.count();
+  const double mean_degree =
+      total / double(tasks.size()) / double(cfg.num_processors);
+  // The at-least-one fallback biases slightly upward; allow for it.
+  EXPECT_NEAR(mean_degree, 0.4, 0.03);
+}
+
+TEST(WorkloadTest, DeadlinesRespectLaxityRange) {
+  Xoshiro256ss rng(9);
+  for (const Task& t : generate_workload(base_config(), rng)) {
+    const double window = double((t.deadline - t.arrival).us);
+    const double p = double(t.processing.us);
+    EXPECT_GE(window, 5.0 * p - 1.0);
+    EXPECT_LE(window, 10.0 * p + 1.0);
+  }
+}
+
+TEST(WorkloadTest, DeterministicGivenSeed) {
+  Xoshiro256ss rng1(10), rng2(10);
+  const auto a = generate_workload(base_config(), rng1);
+  const auto b = generate_workload(base_config(), rng2);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].processing, b[i].processing);
+    EXPECT_EQ(a[i].deadline, b[i].deadline);
+    EXPECT_EQ(a[i].affinity.raw(), b[i].affinity.raw());
+  }
+}
+
+TEST(WorkloadTest, ValidatesConfig) {
+  Xoshiro256ss rng(11);
+  WorkloadConfig cfg = base_config();
+  cfg.num_processors = 0;
+  EXPECT_THROW(generate_workload(cfg, rng), InvalidArgument);
+  cfg = base_config();
+  cfg.processing_min = msec(10);
+  cfg.processing_max = msec(1);
+  EXPECT_THROW(generate_workload(cfg, rng), InvalidArgument);
+  cfg = base_config();
+  cfg.affinity_degree = 1.5;
+  EXPECT_THROW(generate_workload(cfg, rng), InvalidArgument);
+  cfg = base_config();
+  cfg.laxity_min = 0.0;
+  EXPECT_THROW(generate_workload(cfg, rng), InvalidArgument);
+}
+
+TEST(ArrivalsInWindowTest, SelectsHalfOpenRange) {
+  WorkloadConfig cfg = base_config();
+  cfg.arrival = ArrivalPattern::kPoisson;
+  cfg.mean_interarrival = msec(1);
+  Xoshiro256ss rng(12);
+  const auto tasks = generate_workload(cfg, rng);
+  const SimTime mid = tasks[100].arrival;
+  const auto window = arrivals_in_window(tasks, SimTime::zero(), mid);
+  for (const Task& t : window) {
+    EXPECT_LT(t.arrival, mid);
+  }
+  const auto rest = arrivals_in_window(tasks, mid, SimTime::max());
+  EXPECT_EQ(window.size() + rest.size(), tasks.size());
+}
+
+}  // namespace
+}  // namespace rtds::tasks

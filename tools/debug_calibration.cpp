@@ -1,0 +1,43 @@
+#include <cstdio>
+#include <cstdlib>
+#include "exp/experiment.h"
+#include "sched/presets.h"
+using namespace rtds;
+using namespace rtds::exp;
+
+static double hit(const ExperimentConfig& cfg,
+                  const sched::PhaseAlgorithm& algo, uint64_t seed) {
+  return run_once(cfg, algo, seed).hit_ratio() * 100;
+}
+
+int main(int argc, char** argv) {
+  const std::int64_t vcost_us = argc > 1 ? atoll(argv[1]) : 1;
+  const std::int64_t maxq_ms = argc > 2 ? atoll(argv[2]) : 20;
+  const auto rt = sched::make_rt_sads();
+  const auto dc = sched::make_d_cols();
+
+  std::printf("Fig5 shape (R=30%%, SF=1, vcost=%ldus, maxQ=%ldms)\n",
+              vcost_us, maxq_ms);
+  std::printf("m    RT-SADS  D-COLS\n");
+  for (std::uint32_t m : {2u, 4u, 6u, 8u, 10u}) {
+    ExperimentConfig cfg;
+    cfg.num_workers = m;
+    cfg.vertex_cost = usec(vcost_us);
+    cfg.max_quantum = msec(maxq_ms);
+    std::printf("%-4u %6.1f%%  %6.1f%%\n", m, hit(cfg, *rt, 1),
+                hit(cfg, *dc, 1));
+  }
+
+  std::printf("Fig6 shape (m=10, SF=1)\n");
+  std::printf("R     RT-SADS  D-COLS\n");
+  for (double r : {0.1, 0.3, 0.5, 0.7, 1.0}) {
+    ExperimentConfig cfg;
+    cfg.num_workers = 10;
+    cfg.replication_rate = r;
+    cfg.vertex_cost = usec(vcost_us);
+    cfg.max_quantum = msec(maxq_ms);
+    std::printf("%-5.1f %6.1f%%  %6.1f%%\n", r, hit(cfg, *rt, 1),
+                hit(cfg, *dc, 1));
+  }
+  return 0;
+}
