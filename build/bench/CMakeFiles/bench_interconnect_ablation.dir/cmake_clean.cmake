@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_interconnect_ablation.dir/bench_interconnect_ablation.cpp.o"
+  "CMakeFiles/bench_interconnect_ablation.dir/bench_interconnect_ablation.cpp.o.d"
+  "bench_interconnect_ablation"
+  "bench_interconnect_ablation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_interconnect_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_laxity_sweep.cpp" "bench/CMakeFiles/bench_laxity_sweep.dir/bench_laxity_sweep.cpp.o" "gcc" "bench/CMakeFiles/bench_laxity_sweep.dir/bench_laxity_sweep.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/exp/CMakeFiles/rtds_exp.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/rtds_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/search/CMakeFiles/rtds_search.dir/DependInfo.cmake"
+  "/root/repo/build/src/machine/CMakeFiles/rtds_machine.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/rtds_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/db/CMakeFiles/rtds_db.dir/DependInfo.cmake"
+  "/root/repo/build/src/tasks/CMakeFiles/rtds_tasks.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/rtds_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

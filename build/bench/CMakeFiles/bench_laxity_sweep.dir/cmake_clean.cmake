@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_laxity_sweep.dir/bench_laxity_sweep.cpp.o"
+  "CMakeFiles/bench_laxity_sweep.dir/bench_laxity_sweep.cpp.o.d"
+  "bench_laxity_sweep"
+  "bench_laxity_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_laxity_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

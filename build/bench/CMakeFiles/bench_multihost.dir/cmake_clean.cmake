@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_multihost.dir/bench_multihost.cpp.o"
+  "CMakeFiles/bench_multihost.dir/bench_multihost.cpp.o.d"
+  "bench_multihost"
+  "bench_multihost.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_multihost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

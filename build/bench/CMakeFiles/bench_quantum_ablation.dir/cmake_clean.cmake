@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_quantum_ablation.dir/bench_quantum_ablation.cpp.o"
+  "CMakeFiles/bench_quantum_ablation.dir/bench_quantum_ablation.cpp.o.d"
+  "bench_quantum_ablation"
+  "bench_quantum_ablation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_quantum_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

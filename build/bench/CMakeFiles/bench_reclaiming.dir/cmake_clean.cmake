@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_reclaiming.dir/bench_reclaiming.cpp.o"
+  "CMakeFiles/bench_reclaiming.dir/bench_reclaiming.cpp.o.d"
+  "bench_reclaiming"
+  "bench_reclaiming.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_reclaiming.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_strategy_ablation.dir/bench_strategy_ablation.cpp.o"
+  "CMakeFiles/bench_strategy_ablation.dir/bench_strategy_ablation.cpp.o.d"
+  "bench_strategy_ablation"
+  "bench_strategy_ablation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_strategy_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

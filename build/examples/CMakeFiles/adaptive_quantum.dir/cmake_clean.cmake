@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adaptive_quantum.dir/adaptive_quantum.cpp.o"
+  "CMakeFiles/adaptive_quantum.dir/adaptive_quantum.cpp.o.d"
+  "adaptive_quantum"
+  "adaptive_quantum.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adaptive_quantum.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/distributed_db.dir/distributed_db.cpp.o"
+  "CMakeFiles/distributed_db.dir/distributed_db.cpp.o.d"
+  "distributed_db"
+  "distributed_db.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/distributed_db.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rtds_cli.dir/rtds_cli.cpp.o"
+  "CMakeFiles/rtds_cli.dir/rtds_cli.cpp.o.d"
+  "rtds_cli"
+  "rtds_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rtds_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

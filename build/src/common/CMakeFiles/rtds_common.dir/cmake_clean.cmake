@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rtds_common.dir/histogram.cc.o"
+  "CMakeFiles/rtds_common.dir/histogram.cc.o.d"
+  "CMakeFiles/rtds_common.dir/log.cc.o"
+  "CMakeFiles/rtds_common.dir/log.cc.o.d"
+  "CMakeFiles/rtds_common.dir/rng.cc.o"
+  "CMakeFiles/rtds_common.dir/rng.cc.o.d"
+  "CMakeFiles/rtds_common.dir/stats.cc.o"
+  "CMakeFiles/rtds_common.dir/stats.cc.o.d"
+  "librtds_common.a"
+  "librtds_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rtds_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/db/database.cc" "src/db/CMakeFiles/rtds_db.dir/database.cc.o" "gcc" "src/db/CMakeFiles/rtds_db.dir/database.cc.o.d"
+  "/root/repo/src/db/placement.cc" "src/db/CMakeFiles/rtds_db.dir/placement.cc.o" "gcc" "src/db/CMakeFiles/rtds_db.dir/placement.cc.o.d"
+  "/root/repo/src/db/transaction.cc" "src/db/CMakeFiles/rtds_db.dir/transaction.cc.o" "gcc" "src/db/CMakeFiles/rtds_db.dir/transaction.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/rtds_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/tasks/CMakeFiles/rtds_tasks.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rtds_db.dir/database.cc.o"
+  "CMakeFiles/rtds_db.dir/database.cc.o.d"
+  "CMakeFiles/rtds_db.dir/placement.cc.o"
+  "CMakeFiles/rtds_db.dir/placement.cc.o.d"
+  "CMakeFiles/rtds_db.dir/transaction.cc.o"
+  "CMakeFiles/rtds_db.dir/transaction.cc.o.d"
+  "librtds_db.a"
+  "librtds_db.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rtds_db.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

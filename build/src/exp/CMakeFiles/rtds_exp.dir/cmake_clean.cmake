@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rtds_exp.dir/analysis.cc.o"
+  "CMakeFiles/rtds_exp.dir/analysis.cc.o.d"
+  "CMakeFiles/rtds_exp.dir/experiment.cc.o"
+  "CMakeFiles/rtds_exp.dir/experiment.cc.o.d"
+  "CMakeFiles/rtds_exp.dir/table.cc.o"
+  "CMakeFiles/rtds_exp.dir/table.cc.o.d"
+  "librtds_exp.a"
+  "librtds_exp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rtds_exp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/machine/cluster.cc" "src/machine/CMakeFiles/rtds_machine.dir/cluster.cc.o" "gcc" "src/machine/CMakeFiles/rtds_machine.dir/cluster.cc.o.d"
+  "/root/repo/src/machine/interconnect.cc" "src/machine/CMakeFiles/rtds_machine.dir/interconnect.cc.o" "gcc" "src/machine/CMakeFiles/rtds_machine.dir/interconnect.cc.o.d"
+  "/root/repo/src/machine/schedule_export.cc" "src/machine/CMakeFiles/rtds_machine.dir/schedule_export.cc.o" "gcc" "src/machine/CMakeFiles/rtds_machine.dir/schedule_export.cc.o.d"
+  "/root/repo/src/machine/validator.cc" "src/machine/CMakeFiles/rtds_machine.dir/validator.cc.o" "gcc" "src/machine/CMakeFiles/rtds_machine.dir/validator.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/rtds_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/rtds_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/tasks/CMakeFiles/rtds_tasks.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

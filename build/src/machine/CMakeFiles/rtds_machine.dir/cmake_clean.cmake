@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rtds_machine.dir/cluster.cc.o"
+  "CMakeFiles/rtds_machine.dir/cluster.cc.o.d"
+  "CMakeFiles/rtds_machine.dir/interconnect.cc.o"
+  "CMakeFiles/rtds_machine.dir/interconnect.cc.o.d"
+  "CMakeFiles/rtds_machine.dir/schedule_export.cc.o"
+  "CMakeFiles/rtds_machine.dir/schedule_export.cc.o.d"
+  "CMakeFiles/rtds_machine.dir/validator.cc.o"
+  "CMakeFiles/rtds_machine.dir/validator.cc.o.d"
+  "librtds_machine.a"
+  "librtds_machine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rtds_machine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

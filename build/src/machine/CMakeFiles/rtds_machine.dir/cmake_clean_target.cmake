@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "librtds_machine.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rtds_runtime.dir/threaded_runtime.cc.o"
+  "CMakeFiles/rtds_runtime.dir/threaded_runtime.cc.o.d"
+  "librtds_runtime.a"
+  "librtds_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rtds_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sched/algorithm.cc" "src/sched/CMakeFiles/rtds_sched.dir/algorithm.cc.o" "gcc" "src/sched/CMakeFiles/rtds_sched.dir/algorithm.cc.o.d"
+  "/root/repo/src/sched/driver.cc" "src/sched/CMakeFiles/rtds_sched.dir/driver.cc.o" "gcc" "src/sched/CMakeFiles/rtds_sched.dir/driver.cc.o.d"
+  "/root/repo/src/sched/partitioned.cc" "src/sched/CMakeFiles/rtds_sched.dir/partitioned.cc.o" "gcc" "src/sched/CMakeFiles/rtds_sched.dir/partitioned.cc.o.d"
+  "/root/repo/src/sched/presets.cc" "src/sched/CMakeFiles/rtds_sched.dir/presets.cc.o" "gcc" "src/sched/CMakeFiles/rtds_sched.dir/presets.cc.o.d"
+  "/root/repo/src/sched/quantum.cc" "src/sched/CMakeFiles/rtds_sched.dir/quantum.cc.o" "gcc" "src/sched/CMakeFiles/rtds_sched.dir/quantum.cc.o.d"
+  "/root/repo/src/sched/trace.cc" "src/sched/CMakeFiles/rtds_sched.dir/trace.cc.o" "gcc" "src/sched/CMakeFiles/rtds_sched.dir/trace.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/rtds_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/rtds_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/machine/CMakeFiles/rtds_machine.dir/DependInfo.cmake"
+  "/root/repo/build/src/tasks/CMakeFiles/rtds_tasks.dir/DependInfo.cmake"
+  "/root/repo/build/src/search/CMakeFiles/rtds_search.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

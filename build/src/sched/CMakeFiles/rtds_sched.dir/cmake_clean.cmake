@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rtds_sched.dir/algorithm.cc.o"
+  "CMakeFiles/rtds_sched.dir/algorithm.cc.o.d"
+  "CMakeFiles/rtds_sched.dir/driver.cc.o"
+  "CMakeFiles/rtds_sched.dir/driver.cc.o.d"
+  "CMakeFiles/rtds_sched.dir/partitioned.cc.o"
+  "CMakeFiles/rtds_sched.dir/partitioned.cc.o.d"
+  "CMakeFiles/rtds_sched.dir/presets.cc.o"
+  "CMakeFiles/rtds_sched.dir/presets.cc.o.d"
+  "CMakeFiles/rtds_sched.dir/quantum.cc.o"
+  "CMakeFiles/rtds_sched.dir/quantum.cc.o.d"
+  "CMakeFiles/rtds_sched.dir/trace.cc.o"
+  "CMakeFiles/rtds_sched.dir/trace.cc.o.d"
+  "librtds_sched.a"
+  "librtds_sched.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rtds_sched.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

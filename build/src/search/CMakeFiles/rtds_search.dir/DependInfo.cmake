@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/search/engine.cc" "src/search/CMakeFiles/rtds_search.dir/engine.cc.o" "gcc" "src/search/CMakeFiles/rtds_search.dir/engine.cc.o.d"
+  "/root/repo/src/search/partial_schedule.cc" "src/search/CMakeFiles/rtds_search.dir/partial_schedule.cc.o" "gcc" "src/search/CMakeFiles/rtds_search.dir/partial_schedule.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/rtds_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/tasks/CMakeFiles/rtds_tasks.dir/DependInfo.cmake"
+  "/root/repo/build/src/machine/CMakeFiles/rtds_machine.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/rtds_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

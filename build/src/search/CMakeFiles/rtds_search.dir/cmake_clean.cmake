@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rtds_search.dir/engine.cc.o"
+  "CMakeFiles/rtds_search.dir/engine.cc.o.d"
+  "CMakeFiles/rtds_search.dir/partial_schedule.cc.o"
+  "CMakeFiles/rtds_search.dir/partial_schedule.cc.o.d"
+  "librtds_search.a"
+  "librtds_search.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rtds_search.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

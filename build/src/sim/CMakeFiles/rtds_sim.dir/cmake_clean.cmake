@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rtds_sim.dir/simulator.cc.o"
+  "CMakeFiles/rtds_sim.dir/simulator.cc.o.d"
+  "librtds_sim.a"
+  "librtds_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rtds_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rtds_tasks.dir/batch.cc.o"
+  "CMakeFiles/rtds_tasks.dir/batch.cc.o.d"
+  "CMakeFiles/rtds_tasks.dir/task.cc.o"
+  "CMakeFiles/rtds_tasks.dir/task.cc.o.d"
+  "CMakeFiles/rtds_tasks.dir/workload.cc.o"
+  "CMakeFiles/rtds_tasks.dir/workload.cc.o.d"
+  "librtds_tasks.a"
+  "librtds_tasks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rtds_tasks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

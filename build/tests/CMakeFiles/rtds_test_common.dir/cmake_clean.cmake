@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rtds_test_common.dir/common/histogram_test.cc.o"
+  "CMakeFiles/rtds_test_common.dir/common/histogram_test.cc.o.d"
+  "CMakeFiles/rtds_test_common.dir/common/ring_buffer_test.cc.o"
+  "CMakeFiles/rtds_test_common.dir/common/ring_buffer_test.cc.o.d"
+  "CMakeFiles/rtds_test_common.dir/common/rng_test.cc.o"
+  "CMakeFiles/rtds_test_common.dir/common/rng_test.cc.o.d"
+  "CMakeFiles/rtds_test_common.dir/common/stats_property_test.cc.o"
+  "CMakeFiles/rtds_test_common.dir/common/stats_property_test.cc.o.d"
+  "CMakeFiles/rtds_test_common.dir/common/stats_test.cc.o"
+  "CMakeFiles/rtds_test_common.dir/common/stats_test.cc.o.d"
+  "CMakeFiles/rtds_test_common.dir/common/time_test.cc.o"
+  "CMakeFiles/rtds_test_common.dir/common/time_test.cc.o.d"
+  "rtds_test_common"
+  "rtds_test_common.pdb"
+  "rtds_test_common[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rtds_test_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

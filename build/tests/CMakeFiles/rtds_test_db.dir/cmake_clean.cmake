@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rtds_test_db.dir/db/database_test.cc.o"
+  "CMakeFiles/rtds_test_db.dir/db/database_test.cc.o.d"
+  "CMakeFiles/rtds_test_db.dir/db/placement_test.cc.o"
+  "CMakeFiles/rtds_test_db.dir/db/placement_test.cc.o.d"
+  "CMakeFiles/rtds_test_db.dir/db/query_mode_test.cc.o"
+  "CMakeFiles/rtds_test_db.dir/db/query_mode_test.cc.o.d"
+  "CMakeFiles/rtds_test_db.dir/db/transaction_test.cc.o"
+  "CMakeFiles/rtds_test_db.dir/db/transaction_test.cc.o.d"
+  "rtds_test_db"
+  "rtds_test_db.pdb"
+  "rtds_test_db[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rtds_test_db.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

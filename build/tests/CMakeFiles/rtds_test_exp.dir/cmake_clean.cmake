@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rtds_test_exp.dir/exp/analysis_test.cc.o"
+  "CMakeFiles/rtds_test_exp.dir/exp/analysis_test.cc.o.d"
+  "CMakeFiles/rtds_test_exp.dir/exp/experiment_test.cc.o"
+  "CMakeFiles/rtds_test_exp.dir/exp/experiment_test.cc.o.d"
+  "CMakeFiles/rtds_test_exp.dir/exp/reclaim_experiment_test.cc.o"
+  "CMakeFiles/rtds_test_exp.dir/exp/reclaim_experiment_test.cc.o.d"
+  "CMakeFiles/rtds_test_exp.dir/exp/table_test.cc.o"
+  "CMakeFiles/rtds_test_exp.dir/exp/table_test.cc.o.d"
+  "rtds_test_exp"
+  "rtds_test_exp.pdb"
+  "rtds_test_exp[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rtds_test_exp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

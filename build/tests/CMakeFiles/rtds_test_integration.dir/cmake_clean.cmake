@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rtds_test_integration.dir/integration/end_to_end_test.cc.o"
+  "CMakeFiles/rtds_test_integration.dir/integration/end_to_end_test.cc.o.d"
+  "rtds_test_integration"
+  "rtds_test_integration.pdb"
+  "rtds_test_integration[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rtds_test_integration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/machine/cluster_test.cc" "tests/CMakeFiles/rtds_test_machine.dir/machine/cluster_test.cc.o" "gcc" "tests/CMakeFiles/rtds_test_machine.dir/machine/cluster_test.cc.o.d"
+  "/root/repo/tests/machine/interconnect_test.cc" "tests/CMakeFiles/rtds_test_machine.dir/machine/interconnect_test.cc.o" "gcc" "tests/CMakeFiles/rtds_test_machine.dir/machine/interconnect_test.cc.o.d"
+  "/root/repo/tests/machine/reclaim_test.cc" "tests/CMakeFiles/rtds_test_machine.dir/machine/reclaim_test.cc.o" "gcc" "tests/CMakeFiles/rtds_test_machine.dir/machine/reclaim_test.cc.o.d"
+  "/root/repo/tests/machine/schedule_export_test.cc" "tests/CMakeFiles/rtds_test_machine.dir/machine/schedule_export_test.cc.o" "gcc" "tests/CMakeFiles/rtds_test_machine.dir/machine/schedule_export_test.cc.o.d"
+  "/root/repo/tests/machine/validator_test.cc" "tests/CMakeFiles/rtds_test_machine.dir/machine/validator_test.cc.o" "gcc" "tests/CMakeFiles/rtds_test_machine.dir/machine/validator_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/rtds_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/rtds_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/machine/CMakeFiles/rtds_machine.dir/DependInfo.cmake"
+  "/root/repo/build/src/tasks/CMakeFiles/rtds_tasks.dir/DependInfo.cmake"
+  "/root/repo/build/src/search/CMakeFiles/rtds_search.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/rtds_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/db/CMakeFiles/rtds_db.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/rtds_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/exp/CMakeFiles/rtds_exp.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rtds_test_machine.dir/machine/cluster_test.cc.o"
+  "CMakeFiles/rtds_test_machine.dir/machine/cluster_test.cc.o.d"
+  "CMakeFiles/rtds_test_machine.dir/machine/interconnect_test.cc.o"
+  "CMakeFiles/rtds_test_machine.dir/machine/interconnect_test.cc.o.d"
+  "CMakeFiles/rtds_test_machine.dir/machine/reclaim_test.cc.o"
+  "CMakeFiles/rtds_test_machine.dir/machine/reclaim_test.cc.o.d"
+  "CMakeFiles/rtds_test_machine.dir/machine/schedule_export_test.cc.o"
+  "CMakeFiles/rtds_test_machine.dir/machine/schedule_export_test.cc.o.d"
+  "CMakeFiles/rtds_test_machine.dir/machine/validator_test.cc.o"
+  "CMakeFiles/rtds_test_machine.dir/machine/validator_test.cc.o.d"
+  "rtds_test_machine"
+  "rtds_test_machine.pdb"
+  "rtds_test_machine[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rtds_test_machine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rtds_test_runtime.dir/runtime/bounded_queue_test.cc.o"
+  "CMakeFiles/rtds_test_runtime.dir/runtime/bounded_queue_test.cc.o.d"
+  "CMakeFiles/rtds_test_runtime.dir/runtime/threaded_runtime_test.cc.o"
+  "CMakeFiles/rtds_test_runtime.dir/runtime/threaded_runtime_test.cc.o.d"
+  "rtds_test_runtime"
+  "rtds_test_runtime.pdb"
+  "rtds_test_runtime[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rtds_test_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

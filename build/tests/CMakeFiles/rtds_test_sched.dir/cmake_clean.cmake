@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rtds_test_sched.dir/sched/algorithm_test.cc.o"
+  "CMakeFiles/rtds_test_sched.dir/sched/algorithm_test.cc.o.d"
+  "CMakeFiles/rtds_test_sched.dir/sched/driver_test.cc.o"
+  "CMakeFiles/rtds_test_sched.dir/sched/driver_test.cc.o.d"
+  "CMakeFiles/rtds_test_sched.dir/sched/partitioned_test.cc.o"
+  "CMakeFiles/rtds_test_sched.dir/sched/partitioned_test.cc.o.d"
+  "CMakeFiles/rtds_test_sched.dir/sched/quantum_test.cc.o"
+  "CMakeFiles/rtds_test_sched.dir/sched/quantum_test.cc.o.d"
+  "CMakeFiles/rtds_test_sched.dir/sched/theorem_test.cc.o"
+  "CMakeFiles/rtds_test_sched.dir/sched/theorem_test.cc.o.d"
+  "CMakeFiles/rtds_test_sched.dir/sched/trace_test.cc.o"
+  "CMakeFiles/rtds_test_sched.dir/sched/trace_test.cc.o.d"
+  "rtds_test_sched"
+  "rtds_test_sched.pdb"
+  "rtds_test_sched[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rtds_test_sched.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rtds_test_search.dir/search/cursor_test.cc.o"
+  "CMakeFiles/rtds_test_search.dir/search/cursor_test.cc.o.d"
+  "CMakeFiles/rtds_test_search.dir/search/engine_test.cc.o"
+  "CMakeFiles/rtds_test_search.dir/search/engine_test.cc.o.d"
+  "CMakeFiles/rtds_test_search.dir/search/level_order_test.cc.o"
+  "CMakeFiles/rtds_test_search.dir/search/level_order_test.cc.o.d"
+  "CMakeFiles/rtds_test_search.dir/search/oracle_test.cc.o"
+  "CMakeFiles/rtds_test_search.dir/search/oracle_test.cc.o.d"
+  "CMakeFiles/rtds_test_search.dir/search/partial_schedule_test.cc.o"
+  "CMakeFiles/rtds_test_search.dir/search/partial_schedule_test.cc.o.d"
+  "CMakeFiles/rtds_test_search.dir/search/representation_test.cc.o"
+  "CMakeFiles/rtds_test_search.dir/search/representation_test.cc.o.d"
+  "CMakeFiles/rtds_test_search.dir/search/strategy_test.cc.o"
+  "CMakeFiles/rtds_test_search.dir/search/strategy_test.cc.o.d"
+  "rtds_test_search"
+  "rtds_test_search.pdb"
+  "rtds_test_search[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rtds_test_search.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rtds_test_sim.dir/sim/simulator_property_test.cc.o"
+  "CMakeFiles/rtds_test_sim.dir/sim/simulator_property_test.cc.o.d"
+  "CMakeFiles/rtds_test_sim.dir/sim/simulator_test.cc.o"
+  "CMakeFiles/rtds_test_sim.dir/sim/simulator_test.cc.o.d"
+  "rtds_test_sim"
+  "rtds_test_sim.pdb"
+  "rtds_test_sim[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rtds_test_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rtds_test_tasks.dir/tasks/batch_test.cc.o"
+  "CMakeFiles/rtds_test_tasks.dir/tasks/batch_test.cc.o.d"
+  "CMakeFiles/rtds_test_tasks.dir/tasks/start_time_test.cc.o"
+  "CMakeFiles/rtds_test_tasks.dir/tasks/start_time_test.cc.o.d"
+  "CMakeFiles/rtds_test_tasks.dir/tasks/task_test.cc.o"
+  "CMakeFiles/rtds_test_tasks.dir/tasks/task_test.cc.o.d"
+  "CMakeFiles/rtds_test_tasks.dir/tasks/workload_test.cc.o"
+  "CMakeFiles/rtds_test_tasks.dir/tasks/workload_test.cc.o.d"
+  "rtds_test_tasks"
+  "rtds_test_tasks.pdb"
+  "rtds_test_tasks[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rtds_test_tasks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

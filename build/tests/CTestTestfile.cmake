@@ -1,0 +1,16 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/rtds_test_common[1]_include.cmake")
+include("/root/repo/build/tests/rtds_test_sim[1]_include.cmake")
+include("/root/repo/build/tests/rtds_test_tasks[1]_include.cmake")
+include("/root/repo/build/tests/rtds_test_machine[1]_include.cmake")
+include("/root/repo/build/tests/rtds_test_search[1]_include.cmake")
+include("/root/repo/build/tests/rtds_test_sched[1]_include.cmake")
+include("/root/repo/build/tests/rtds_test_db[1]_include.cmake")
+include("/root/repo/build/tests/rtds_test_exp[1]_include.cmake")
+include("/root/repo/build/tests/rtds_test_runtime[1]_include.cmake")
+include("/root/repo/build/tests/rtds_test_integration[1]_include.cmake")
