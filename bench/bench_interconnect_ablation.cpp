@@ -16,6 +16,8 @@
 #include "db/placement.h"
 #include "db/transaction.h"
 #include "machine/cluster.h"
+#include "sched/backend.h"
+#include "sched/pipeline.h"
 #include "sched/presets.h"
 #include "sim/simulator.h"
 
@@ -42,10 +44,11 @@ sched::RunMetrics run_with_net(const exp::ExperimentConfig& cfg,
   machine::Cluster cluster(cfg.num_workers, net);
   sim::Simulator simulator;
   const auto quantum = cfg.make_quantum();
-  sched::DriverConfig driver_cfg;
-  driver_cfg.vertex_generation_cost = cfg.vertex_cost;
-  const sched::PhaseScheduler scheduler(algo, *quantum, driver_cfg);
-  return scheduler.run(workload, cluster, simulator);
+  sched::PipelineConfig pipeline_cfg;
+  pipeline_cfg.vertex_generation_cost = cfg.vertex_cost;
+  const sched::PhasePipeline pipeline(algo, *quantum, pipeline_cfg);
+  sched::SimBackend backend(cluster, simulator);
+  return pipeline.run(workload, backend);
 }
 
 double mean_hit(const exp::ExperimentConfig& cfg,

@@ -15,7 +15,8 @@
 #include "exp/analysis.h"
 #include "exp/table.h"
 #include "machine/cluster.h"
-#include "sched/driver.h"
+#include "sched/backend.h"
+#include "sched/pipeline.h"
 #include "sched/presets.h"
 #include "sim/simulator.h"
 
@@ -54,11 +55,12 @@ int main() {
         machine::Interconnect::cut_through(cfg.num_workers, cfg.comm_cost));
     sim::Simulator sim;
     const auto quantum = cfg.make_quantum();
-    sched::DriverConfig dc;
+    sched::PipelineConfig dc;
     dc.vertex_generation_cost = cfg.vertex_cost;
     dc.phase_overhead = cfg.phase_overhead;
-    const sched::PhaseScheduler scheduler(*algo, *quantum, dc);
-    const sched::RunMetrics m = scheduler.run(workload, cluster, sim);
+    const sched::PhasePipeline pipeline(*algo, *quantum, dc);
+    sched::SimBackend backend(cluster, sim);
+    const sched::RunMetrics m = pipeline.run(workload, backend);
 
     const exp::BalanceSummary bal = exp::balance_summary(cluster);
     const Histogram margins = exp::margin_histogram(cluster.log(), 50.0);

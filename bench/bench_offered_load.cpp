@@ -15,7 +15,8 @@
 #include "common/rng.h"
 #include "exp/table.h"
 #include "machine/cluster.h"
-#include "sched/driver.h"
+#include "sched/backend.h"
+#include "sched/pipeline.h"
 #include "sched/presets.h"
 #include "sim/simulator.h"
 #include "tasks/workload.h"
@@ -50,11 +51,12 @@ double mean_hit(const sched::PhaseAlgorithm& algo, double offered_load,
     Xoshiro256ss rng(derive_seed(0xEC0FEED, rep));
     const auto wl = tasks::generate_workload(wc, rng);
 
-    sched::DriverConfig dc;
+    sched::PipelineConfig dc;
     dc.vertex_generation_cost = usec(2);
     dc.phase_overhead = usec(50);
-    const sched::PhaseScheduler scheduler(algo, *quantum, dc);
-    s.add(scheduler.run(wl, cluster, sim).hit_ratio());
+    const sched::PhasePipeline pipeline(algo, *quantum, dc);
+    sched::SimBackend backend(cluster, sim);
+    s.add(pipeline.run(wl, backend).hit_ratio());
   }
   return s.mean() * 100.0;
 }

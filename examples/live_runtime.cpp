@@ -53,8 +53,10 @@ int main(int argc, char** argv) {
             << "missed in execution : " << r.exec_misses
             << "  (wall-clock jitter can cause a few)\n"
             << "culled              : " << r.culled << "\n"
+            << "mailbox overflows   : " << r.overflow_drops << "\n"
             << "hit ratio           : " << r.hit_ratio() * 100.0 << "%\n"
             << "scheduling phases   : " << r.phases << "\n"
-            << "elapsed             : " << r.elapsed.millis() << " ms\n";
+            << "elapsed             : "
+            << (r.finish_time - SimTime::zero()).millis() << " ms\n";
   return 0;
 }

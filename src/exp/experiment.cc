@@ -4,6 +4,8 @@
 #include "common/rng.h"
 #include "db/placement.h"
 #include "machine/cluster.h"
+#include "sched/backend.h"
+#include "sched/pipeline.h"
 #include "sim/simulator.h"
 
 namespace rtds::exp {
@@ -47,11 +49,12 @@ sched::RunMetrics run_once(const ExperimentConfig& config,
                                   : machine::ReclaimMode::kWorstCase);
   sim::Simulator simulator;
   const auto quantum = config.make_quantum();
-  sched::DriverConfig driver_cfg;
-  driver_cfg.vertex_generation_cost = config.vertex_cost;
-  driver_cfg.phase_overhead = config.phase_overhead;
-  const sched::PhaseScheduler scheduler(algorithm, *quantum, driver_cfg);
-  return scheduler.run(workload, cluster, simulator);
+  sched::PipelineConfig pipeline_cfg;
+  pipeline_cfg.vertex_generation_cost = config.vertex_cost;
+  pipeline_cfg.phase_overhead = config.phase_overhead;
+  const sched::PhasePipeline pipeline(algorithm, *quantum, pipeline_cfg);
+  sched::SimBackend backend(cluster, simulator);
+  return pipeline.run(workload, backend);
 }
 
 Aggregate run_repeated(const ExperimentConfig& config,

@@ -31,6 +31,17 @@ class BoundedQueue {
     return true;
   }
 
+  /// Non-blocking push. Returns false — without waiting — if the queue is
+  /// full or closed. This is the overflow-policy primitive: a host thread
+  /// must never block indefinitely on a saturated worker mailbox.
+  bool try_push(T value) {
+    std::lock_guard lock(mutex_);
+    if (closed_ || items_.size() >= capacity_) return false;
+    items_.push_back(std::move(value));
+    not_empty_.notify_one();
+    return true;
+  }
+
   /// Blocks while empty. Returns nullopt once closed and drained.
   std::optional<T> pop() {
     std::unique_lock lock(mutex_);

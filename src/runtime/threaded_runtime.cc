@@ -1,173 +1,28 @@
 #include "runtime/threaded_runtime.h"
 
-#include <chrono>
-#include <cmath>
-#include <thread>
-#include <unordered_set>
-
 #include "common/error.h"
-#include "runtime/bounded_queue.h"
-#include "tasks/batch.h"
 
 namespace rtds::runtime {
-
-namespace {
-
-using Clock = std::chrono::steady_clock;
-
-/// Maps the wall clock onto SimTime microseconds since runtime start.
-class WallClock {
- public:
-  WallClock() : start_(Clock::now()) {}
-
-  [[nodiscard]] SimTime now() const {
-    const auto us = std::chrono::duration_cast<std::chrono::microseconds>(
-                        Clock::now() - start_)
-                        .count();
-    return SimTime{us};
-  }
-
-  void sleep_until(SimTime t) const {
-    std::this_thread::sleep_until(start_ + std::chrono::microseconds(t.us));
-  }
-
- private:
-  Clock::time_point start_;
-};
-
-struct WorkItem {
-  Task task;
-  SimDuration exec_cost;
-};
-
-}  // namespace
 
 RuntimeReport run_threaded(const sched::PhaseAlgorithm& algorithm,
                            const sched::QuantumPolicy& quantum,
                            const RuntimeConfig& config,
-                           const std::vector<Task>& workload) {
+                           const std::vector<Task>& workload,
+                           sched::PhaseObserver* observer) {
   RTDS_REQUIRE(config.num_workers >= 1, "run_threaded: need >= 1 worker");
   RTDS_REQUIRE(config.time_scale > 0.0, "run_threaded: bad time scale");
   RTDS_REQUIRE(config.vertex_cost > SimDuration::zero(),
                "run_threaded: vertex cost must be positive");
-  for (std::size_t i = 1; i < workload.size(); ++i) {
-    RTDS_REQUIRE(workload[i - 1].arrival <= workload[i].arrival,
-                 "run_threaded: workload must be sorted by arrival");
-  }
 
-  RuntimeReport report;
-  report.total_tasks = workload.size();
-  if (workload.empty()) return report;
+  // The threaded backend has no synthetic per-phase overhead: each phase's
+  // real cost is the wall time the search consumed.
+  sched::PipelineConfig pipeline_cfg;
+  pipeline_cfg.vertex_generation_cost = config.vertex_cost;
+  pipeline_cfg.phase_overhead = SimDuration::zero();
+  const sched::PhasePipeline pipeline(algorithm, quantum, pipeline_cfg);
 
-  const machine::Interconnect net = machine::Interconnect::cut_through(
-      config.num_workers, config.comm_cost);
-
-  WallClock clock;
-  std::atomic<std::uint64_t> hits{0};
-  std::atomic<std::uint64_t> misses{0};
-
-  // One mailbox per worker; workers sleep for the (scaled) execution cost
-  // and judge the deadline against the wall clock.
-  std::vector<std::unique_ptr<BoundedQueue<WorkItem>>> mailboxes;
-  mailboxes.reserve(config.num_workers);
-  for (std::uint32_t k = 0; k < config.num_workers; ++k) {
-    mailboxes.push_back(
-        std::make_unique<BoundedQueue<WorkItem>>(config.mailbox_capacity));
-  }
-
-  std::vector<std::thread> workers;
-  workers.reserve(config.num_workers);
-  for (std::uint32_t k = 0; k < config.num_workers; ++k) {
-    workers.emplace_back([&, k] {
-      while (auto item = mailboxes[k]->pop()) {
-        const auto scaled_us = std::llround(double(item->exec_cost.us) *
-                                            config.time_scale);
-        std::this_thread::sleep_for(std::chrono::microseconds(scaled_us));
-        const SimTime end = clock.now();
-        if (end <= item->task.deadline) {
-          hits.fetch_add(1, std::memory_order_relaxed);
-        } else {
-          misses.fetch_add(1, std::memory_order_relaxed);
-        }
-      }
-    });
-  }
-
-  // Host scheduling loop: the committed-load model is identical to the
-  // simulation's Cluster (busy-until horizons), but the clock is real.
-  std::vector<SimTime> busy_until(config.num_workers, SimTime::zero());
-  tasks::Batch batch;
-  std::size_t cursor = 0;
-
-  while (true) {
-    SimTime t = clock.now();
-
-    std::vector<Task> arrived;
-    while (cursor < workload.size() && workload[cursor].arrival <= t) {
-      arrived.push_back(workload[cursor]);
-      ++cursor;
-    }
-    batch.merge_arrivals(arrived);
-    report.culled += batch.cull_missed(t).size();
-
-    if (batch.empty()) {
-      if (cursor >= workload.size()) break;
-      clock.sleep_until(workload[cursor].arrival);
-      continue;
-    }
-
-    const SimDuration min_slack = batch.min_slack(t);
-    SimDuration min_load = SimDuration::max();
-    for (SimTime b : busy_until) {
-      const SimDuration load =
-          b <= t ? SimDuration::zero() : b - t;
-      min_load = min_duration(min_load, load);
-    }
-    SimDuration q = quantum.allocate(min_slack, min_load);
-    q = max_duration(q, config.vertex_cost);
-    const auto budget = static_cast<std::uint64_t>(q / config.vertex_cost);
-
-    const SimTime planned_delivery = t + q;
-    std::vector<SimDuration> base_loads(config.num_workers);
-    for (std::uint32_t k = 0; k < config.num_workers; ++k) {
-      base_loads[k] = busy_until[k] <= planned_delivery
-                          ? SimDuration::zero()
-                          : busy_until[k] - planned_delivery;
-    }
-
-    const sched::SearchResult result = algorithm.schedule_phase(
-        batch.tasks(), std::move(base_loads), planned_delivery, net, budget);
-    ++report.phases;
-    report.vertices_generated += result.stats.vertices_generated;
-
-    // Deliver: push into mailboxes and update committed horizons from the
-    // actual push time (earlier than planned delivery is safe — the
-    // feasibility test charged the full quantum).
-    std::unordered_set<tasks::TaskId> scheduled_ids;
-    const SimTime push_time = clock.now();
-    for (const search::Assignment& a : result.schedule) {
-      const Task& task = batch.tasks()[a.task_index];
-      const SimDuration cost =
-          task.processing + net.comm_cost(task.affinity, a.worker);
-      mailboxes[a.worker]->push(WorkItem{task, cost});
-      const SimTime start =
-          busy_until[a.worker] < push_time ? push_time
-                                           : busy_until[a.worker];
-      busy_until[a.worker] = start + cost;
-      scheduled_ids.insert(task.id);
-      ++report.scheduled;
-    }
-    batch.remove_scheduled(scheduled_ids);
-  }
-
-  for (auto& mb : mailboxes) mb->close();
-  for (std::thread& w : workers) w.join();
-
-  report.deadline_hits = hits.load();
-  report.exec_misses = misses.load();
-  report.elapsed = clock.now() - SimTime::zero();
-  RTDS_ASSERT(report.deadline_hits + report.exec_misses == report.scheduled);
-  return report;
+  ThreadedBackend backend(config);
+  return pipeline.run(workload, backend, observer);
 }
 
 }  // namespace rtds::runtime

@@ -1,24 +1,18 @@
 // Live threaded deployment of the scheduling pipeline.
 //
 // This mirrors the paper's Paragon deployment shape with std::threads in
-// one process: a host thread runs scheduling phases (same PhaseAlgorithm,
-// QuantumPolicy and feasibility machinery as the simulation) and m worker
-// threads drain their ready-queue mailboxes, "executing" each task by
-// sleeping for its execution cost (optionally scaled). Deadlines are checked
-// against the wall clock, so the run experiences real scheduling overhead,
-// queueing and jitter. The DES (src/sim) remains the instrument for the
-// paper's figures — this runtime exists to demonstrate the scheduler driving
-// real concurrency and is exercised by integration tests with generous
-// margins.
+// one process: the SAME PhasePipeline that drives the DES figures runs the
+// host scheduling loop here, parameterized over a ThreadedBackend
+// (runtime/threaded_backend.h) whose m worker threads drain ready-queue
+// mailboxes against the wall clock. run_threaded is pure glue: build the
+// backend, run the pipeline, return the unified metrics.
 #pragma once
 
-#include <atomic>
-#include <cstdint>
 #include <vector>
 
-#include "common/time.h"
-#include "machine/interconnect.h"
+#include "runtime/threaded_backend.h"
 #include "sched/algorithm.h"
+#include "sched/pipeline.h"
 #include "sched/quantum.h"
 #include "tasks/task.h"
 
@@ -26,42 +20,21 @@ namespace rtds::runtime {
 
 using tasks::Task;
 
-struct RuntimeConfig {
-  std::uint32_t num_workers{4};
-  SimDuration comm_cost{msec(2)};
-  /// Virtual scheduling cost per generated vertex: sets the vertex budget
-  /// of each phase exactly as in the simulation.
-  SimDuration vertex_cost{usec(10)};
-  /// Execution sleep = execution cost * time_scale. Values < 1 shrink the
-  /// wall time of demos; 1.0 executes in real time.
-  double time_scale{1.0};
-  std::size_t mailbox_capacity{1024};
-};
-
-struct RuntimeReport {
-  std::uint64_t total_tasks{0};
-  std::uint64_t scheduled{0};
-  std::uint64_t deadline_hits{0};
-  std::uint64_t exec_misses{0};
-  std::uint64_t culled{0};
-  std::uint64_t phases{0};
-  std::uint64_t vertices_generated{0};
-  SimDuration elapsed{SimDuration::zero()};
-
-  [[nodiscard]] double hit_ratio() const {
-    return total_tasks == 0 ? 1.0
-                            : double(deadline_hits) / double(total_tasks);
-  }
-};
+/// Threaded runs report the same metrics struct as the DES and partitioned
+/// deployments — results are directly comparable across backends. Wall
+/// time elapsed is finish_time (the threaded clock starts at zero).
+using RuntimeReport = sched::RunMetrics;
 
 /// Runs one workload to completion on real threads and reports.
 ///
 /// `workload` must be sorted by arrival; arrivals and deadlines are
 /// interpreted relative to the runtime's start instant. The algorithm and
-/// quantum policy must outlive the call (it is synchronous).
+/// quantum policy must outlive the call (it is synchronous). An optional
+/// observer receives one PhaseRecord per phase, as in the simulation.
 RuntimeReport run_threaded(const sched::PhaseAlgorithm& algorithm,
                            const sched::QuantumPolicy& quantum,
                            const RuntimeConfig& config,
-                           const std::vector<Task>& workload);
+                           const std::vector<Task>& workload,
+                           sched::PhaseObserver* observer = nullptr);
 
 }  // namespace rtds::runtime

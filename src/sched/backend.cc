@@ -1,0 +1,79 @@
+#include "sched/backend.h"
+
+#include "common/error.h"
+
+namespace rtds::sched {
+
+SimBackend::SimBackend(machine::Cluster& cluster, sim::Simulator& sim)
+    : cluster_(cluster), sim_(sim), initial_(cluster.stats()) {}
+
+std::uint32_t SimBackend::num_workers() const {
+  return cluster_.num_workers();
+}
+
+const machine::Interconnect& SimBackend::interconnect() const {
+  return cluster_.interconnect();
+}
+
+SimTime SimBackend::now() const { return sim_.now(); }
+
+SimDuration SimBackend::load(std::uint32_t worker, SimTime t) const {
+  return cluster_.load(worker, t);
+}
+
+void SimBackend::wait_until(SimTime t) {
+  if (t > sim_.now()) sim_.run_until(t);
+}
+
+void SimBackend::advance(SimDuration host_busy) {
+  sim_.run_until(sim_.now() + host_busy);
+}
+
+std::size_t SimBackend::deliver(
+    const std::vector<machine::ScheduledAssignment>& schedule) {
+  cluster_.deliver(schedule, sim_.now());
+  return schedule.size();
+}
+
+BackendStats SimBackend::drain() {
+  sim_.run();  // fire any events a caller scheduled alongside the pipeline
+  const machine::ExecutionStats finals = cluster_.stats();
+  BackendStats out;
+  out.deadline_hits = finals.deadline_hits - initial_.deadline_hits;
+  out.exec_misses = finals.deadline_misses - initial_.deadline_misses;
+  out.finish_time =
+      cluster_.makespan() > sim_.now() ? cluster_.makespan() : sim_.now();
+  return out;
+}
+
+PartitionedBackend::Host::Host(std::uint32_t workers, SimDuration comm_cost,
+                               machine::ReclaimMode reclaim)
+    : cluster(workers, machine::Interconnect::cut_through(workers, comm_cost),
+              reclaim),
+      backend(cluster, sim) {}
+
+PartitionedBackend::PartitionedBackend(std::uint32_t num_hosts,
+                                       std::uint32_t workers_per_host,
+                                       SimDuration comm_cost,
+                                       machine::ReclaimMode reclaim) {
+  RTDS_REQUIRE(num_hosts >= 1, "PartitionedBackend: need >= 1 host");
+  RTDS_REQUIRE(workers_per_host >= 1,
+               "PartitionedBackend: need >= 1 worker per host");
+  hosts_.reserve(num_hosts);
+  for (std::uint32_t h = 0; h < num_hosts; ++h) {
+    hosts_.push_back(
+        std::make_unique<Host>(workers_per_host, comm_cost, reclaim));
+  }
+}
+
+ExecutionBackend& PartitionedBackend::host(std::uint32_t h) {
+  RTDS_REQUIRE(h < hosts_.size(), "PartitionedBackend: bad host id");
+  return hosts_[h]->backend;
+}
+
+const machine::Cluster& PartitionedBackend::cluster(std::uint32_t h) const {
+  RTDS_REQUIRE(h < hosts_.size(), "PartitionedBackend: bad host id");
+  return hosts_[h]->cluster;
+}
+
+}  // namespace rtds::sched

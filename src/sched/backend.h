@@ -1,0 +1,129 @@
+// Execution backends for the phase pipeline.
+//
+// The scheduling phase of Sec. 4 (Batch(j) -> Q_s(j) -> search -> deliver
+// S_j) is pure algorithm: the only things it needs from the world are a
+// clock, the residual load of each worker, and a way to hand a schedule to
+// the worker ready queues. ExecutionBackend captures exactly that surface,
+// so ONE PhasePipeline (sched/pipeline.h) drives every deployment:
+//
+//   SimBackend         — machine::Cluster on the DES clock (the paper's
+//                        instrument; all figures run here)
+//   ThreadedBackend    — std::thread workers + mailboxes on the wall clock
+//                        (src/runtime/threaded_backend.h)
+//   PartitionedBackend — K scheduling hosts, each owning a shard of the
+//                        workers on its own DES clock (multi-host runs)
+//
+// A new deployment (async batching, work stealing, remote workers) is one
+// new backend file; the phase logic is never duplicated again.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/time.h"
+#include "machine/cluster.h"
+#include "machine/interconnect.h"
+#include "sim/simulator.h"
+
+namespace rtds::sched {
+
+/// Terminal accounting a backend reports once all delivered work has run.
+struct BackendStats {
+  std::uint64_t deadline_hits{0};
+  std::uint64_t exec_misses{0};
+  SimTime finish_time{SimTime::zero()};  ///< all delivered work drained
+};
+
+/// The machine surface the phase pipeline schedules against.
+///
+/// Time flows differently per backend: the DES backends advance their clock
+/// only when told (advance/wait_until), while the threaded backend's wall
+/// clock runs by itself (its advance is a no-op — the real search already
+/// consumed real time). The pipeline only ever observes time through now().
+class ExecutionBackend {
+ public:
+  virtual ~ExecutionBackend() = default;
+
+  [[nodiscard]] virtual std::uint32_t num_workers() const = 0;
+  [[nodiscard]] virtual const machine::Interconnect& interconnect() const = 0;
+
+  /// Current time on this backend's clock.
+  [[nodiscard]] virtual SimTime now() const = 0;
+
+  /// Residual committed work on `worker` at time t (Load_k in Fig. 3).
+  [[nodiscard]] virtual SimDuration load(std::uint32_t worker,
+                                         SimTime t) const = 0;
+
+  /// Blocks (or advances the simulated clock) until time t; no-op if t has
+  /// already passed.
+  virtual void wait_until(SimTime t) = 0;
+
+  /// Charges `host_busy` scheduling time: the host processor was occupied
+  /// generating vertices and delivering S_j for this long.
+  virtual void advance(SimDuration host_busy) = 0;
+
+  /// Appends the schedule to the worker ready queues. Returns how many
+  /// assignments were actually accepted — a backend with bounded queues may
+  /// refuse some (counted by the pipeline as overflow drops).
+  virtual std::size_t deliver(
+      const std::vector<machine::ScheduledAssignment>& schedule) = 0;
+
+  /// Waits for every delivered task to finish executing and reports the
+  /// terminal counts. Called exactly once, after the last phase.
+  virtual BackendStats drain() = 0;
+};
+
+/// DES backend: machine::Cluster for execution, sim::Simulator for time.
+/// Both are borrowed and left in their final state so callers can inspect
+/// the completion log; hit/miss counts are reported as deltas against the
+/// construction-time snapshot (clusters may be reused across runs).
+class SimBackend final : public ExecutionBackend {
+ public:
+  SimBackend(machine::Cluster& cluster, sim::Simulator& sim);
+
+  [[nodiscard]] std::uint32_t num_workers() const override;
+  [[nodiscard]] const machine::Interconnect& interconnect() const override;
+  [[nodiscard]] SimTime now() const override;
+  [[nodiscard]] SimDuration load(std::uint32_t worker,
+                                 SimTime t) const override;
+  void wait_until(SimTime t) override;
+  void advance(SimDuration host_busy) override;
+  std::size_t deliver(
+      const std::vector<machine::ScheduledAssignment>& schedule) override;
+  BackendStats drain() override;
+
+ private:
+  machine::Cluster& cluster_;
+  sim::Simulator& sim_;
+  machine::ExecutionStats initial_;
+};
+
+/// K scheduling hosts, each owning an equal shard of the workers with its
+/// own cluster and DES clock (the shards are independent machines; there is
+/// no cross-shard migration). host(s) is the ExecutionBackend the phase
+/// pipeline runs against for shard s.
+class PartitionedBackend {
+ public:
+  PartitionedBackend(std::uint32_t num_hosts, std::uint32_t workers_per_host,
+                     SimDuration comm_cost, machine::ReclaimMode reclaim);
+
+  [[nodiscard]] std::uint32_t num_hosts() const {
+    return static_cast<std::uint32_t>(hosts_.size());
+  }
+  [[nodiscard]] ExecutionBackend& host(std::uint32_t h);
+  [[nodiscard]] const machine::Cluster& cluster(std::uint32_t h) const;
+
+ private:
+  struct Host {
+    Host(std::uint32_t workers, SimDuration comm_cost,
+         machine::ReclaimMode reclaim);
+    machine::Cluster cluster;
+    sim::Simulator sim;
+    SimBackend backend;
+  };
+  std::vector<std::unique_ptr<Host>> hosts_;
+};
+
+}  // namespace rtds::sched

@@ -1,20 +1,11 @@
-// The dynamic scheduling pipeline (Sec. 4).
+// DES deployment of the scheduling pipeline (Sec. 4).
 //
 // A dedicated host processor runs scheduling phases back to back while the
-// m working processors execute previously delivered schedules:
-//
-//   phase j:  t_s = now
-//     Batch(j)  = Batch(j-1) - scheduled - missed + arrivals during j-1
-//     Q_s(j)    = quantum policy (Fig. 3), from Min_Slack and Min_Load
-//     search    = phase algorithm with vertex budget Q_s / vertex_cost
-//     t_e       = t_s + vertices_generated * vertex_cost   (<= t_s + Q_s)
-//     S_j is delivered to the worker ready queues at t_e; phase j+1 starts.
-//
-// Scheduling overhead is thus charged on the simulated clock exactly as the
-// paper charges physical time on the Paragon's host processor: every
-// generated vertex costs `vertex_generation_cost`, and the predictive
-// feasibility test inside the search already accounted for the full quantum,
-// so delivering early can only improve timeliness (correction theorem).
+// m working processors execute previously delivered schedules. The phase
+// logic itself lives in sched/pipeline.h (PhasePipeline) — this header
+// keeps the historic simulation-facing entry point: PhaseScheduler binds
+// the pipeline to a machine::Cluster + sim::Simulator pair through a
+// SimBackend (sched/backend.h).
 #pragma once
 
 #include <cstdint>
@@ -24,70 +15,17 @@
 #include "common/time.h"
 #include "machine/cluster.h"
 #include "sched/algorithm.h"
-#include "sched/trace.h"
+#include "sched/pipeline.h"
 #include "sched/quantum.h"
+#include "sched/trace.h"
 #include "sim/simulator.h"
-#include "tasks/batch.h"
 #include "tasks/task.h"
 
 namespace rtds::sched {
 
 using machine::Cluster;
-using tasks::Task;
 
-/// End-to-end metrics of one scheduling run.
-struct RunMetrics {
-  std::uint64_t total_tasks{0};
-  std::uint64_t scheduled{0};        ///< delivered to a worker
-  std::uint64_t deadline_hits{0};    ///< executed and met deadline
-  std::uint64_t exec_misses{0};      ///< executed but missed (theorem: 0)
-  std::uint64_t culled{0};           ///< dropped from a batch, unreachable
-
-  std::uint64_t phases{0};
-  std::uint64_t vertices_generated{0};
-  std::uint64_t expansions{0};
-  std::uint64_t backtracks{0};
-  std::uint64_t dead_ends{0};
-  std::uint64_t leaves{0};           ///< phases reaching a complete schedule
-  std::uint64_t budget_exhaustions{0};
-
-  SimTime finish_time{SimTime::zero()};       ///< all work drained
-  SimDuration scheduling_time{SimDuration::zero()};  ///< host busy time
-  SimDuration allocated_quantum{SimDuration::zero()};  ///< sum of Q_s(j)
-  /// Smallest and largest Q_s(j) allocated across phases — the spread shows
-  /// the self-adjusting criterion at work (equal for a fixed quantum).
-  SimDuration min_quantum_seen{SimDuration::max()};
-  SimDuration max_quantum_seen{SimDuration::zero()};
-
-  /// Deadline compliance: fraction of all offered tasks that completed by
-  /// their deadline (the paper's primary metric).
-  [[nodiscard]] double hit_ratio() const {
-    return total_tasks == 0
-               ? 1.0
-               : double(deadline_hits) / double(total_tasks);
-  }
-  [[nodiscard]] std::uint64_t misses() const {
-    return exec_misses + culled + (total_tasks - scheduled - culled);
-  }
-};
-
-/// Configuration of the pipeline itself (algorithm- and machine-independent).
-struct DriverConfig {
-  /// Simulated cost of generating + evaluating one vertex on the host
-  /// processor (Sec. 4.1's definition of vertex generation).
-  SimDuration vertex_generation_cost{usec(10)};
-
-  /// Fixed per-phase cost: batch maintenance (merge/cull) plus delivering
-  /// S_j to the worker ready queues over the interconnect. Without it,
-  /// infinitely short phases would be free, which no real pipeline offers
-  /// — this is what makes the Sec. 4.2 quantum criterion a genuine
-  /// trade-off. Charged inside the quantum: the vertex budget of phase j
-  /// is (Q_s(j) - phase_overhead) / vertex_generation_cost, so the
-  /// correction theorem's bound t_e <= t_s + Q_s still holds.
-  SimDuration phase_overhead{usec(50)};
-};
-
-/// Drives a PhaseAlgorithm + QuantumPolicy over a Cluster on a Simulator.
+/// Convenience facade: PhasePipeline over a SimBackend.
 class PhaseScheduler {
  public:
   /// All three dependencies must outlive the scheduler.
@@ -104,9 +42,7 @@ class PhaseScheduler {
                  PhaseObserver* observer = nullptr) const;
 
  private:
-  const PhaseAlgorithm& algorithm_;
-  const QuantumPolicy& quantum_;
-  DriverConfig config_;
+  PhasePipeline pipeline_;
 };
 
 }  // namespace rtds::sched

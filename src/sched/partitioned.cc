@@ -1,7 +1,8 @@
 #include "sched/partitioned.h"
 
 #include "common/error.h"
-#include "sim/simulator.h"
+#include "sched/backend.h"
+#include "sched/pipeline.h"
 
 namespace rtds::sched {
 
@@ -98,17 +99,15 @@ PartitionedMetrics run_partitioned(const PhaseAlgorithm& algorithm,
     ++shard_counts[s];
   }
 
+  // One pipeline, K scheduling hosts: each shard runs the SAME phase loop
+  // (sched/pipeline.cc) against its own host backend.
   PartitionedMetrics out;
   out.shards.reserve(config.num_shards);
-  const PhaseScheduler scheduler(algorithm, quantum, config.driver);
+  const PhasePipeline pipeline(algorithm, quantum, config.driver);
+  PartitionedBackend backend(config.num_shards, per_shard, config.comm_cost,
+                             config.reclaim);
   for (std::uint32_t s = 0; s < config.num_shards; ++s) {
-    machine::Cluster cluster(
-        per_shard,
-        machine::Interconnect::cut_through(per_shard, config.comm_cost),
-        config.reclaim);
-    sim::Simulator sim;
-    out.shards.push_back(
-        scheduler.run(shard_workloads[s], cluster, sim));
+    out.shards.push_back(pipeline.run(shard_workloads[s], backend.host(s)));
   }
   return out;
 }

@@ -25,7 +25,7 @@
 
 #include "common/time.h"
 #include "machine/cluster.h"
-#include "sched/driver.h"
+#include "sched/pipeline.h"
 
 namespace rtds::sched {
 
@@ -48,8 +48,9 @@ struct PartitionedMetrics {
   [[nodiscard]] SimTime finish_time() const;
 };
 
-/// Routes `workload` across shards and runs one pipeline per shard.
-/// Workers [s * (total/H), (s+1) * (total/H)) belong to shard s; requires
+/// Routes `workload` across shards and runs the shared PhasePipeline once
+/// per shard against a PartitionedBackend host (sched/backend.h). Workers
+/// [s * (total/H), (s+1) * (total/H)) belong to shard s; requires
 /// total_workers % num_shards == 0. The algorithm and quantum policy are
 /// shared (they are stateless between phases).
 PartitionedMetrics run_partitioned(const PhaseAlgorithm& algorithm,

@@ -1,0 +1,159 @@
+#include "sched/pipeline.h"
+
+#include <unordered_set>
+#include <utility>
+
+#include "common/error.h"
+#include "tasks/batch.h"
+
+namespace rtds::sched {
+
+PhasePipeline::PhasePipeline(const PhaseAlgorithm& algorithm,
+                             const QuantumPolicy& quantum,
+                             PipelineConfig config)
+    : algorithm_(algorithm), quantum_(quantum), config_(config) {
+  RTDS_REQUIRE(config_.vertex_generation_cost > SimDuration::zero(),
+               "PhasePipeline: vertex cost must be positive");
+  RTDS_REQUIRE(!config_.phase_overhead.is_negative(),
+               "PhasePipeline: negative phase overhead");
+}
+
+RunMetrics PhasePipeline::run(const std::vector<Task>& workload,
+                              ExecutionBackend& backend,
+                              PhaseObserver* observer) const {
+  for (std::size_t i = 1; i < workload.size(); ++i) {
+    RTDS_REQUIRE(workload[i - 1].arrival <= workload[i].arrival,
+                 "PhasePipeline: workload must be sorted by arrival");
+  }
+
+  RunMetrics metrics;
+  metrics.total_tasks = workload.size();
+  if (workload.empty()) {
+    metrics.finish_time = backend.now();
+    return metrics;
+  }
+
+  tasks::Batch batch;
+  std::size_t cursor = 0;
+  const SimDuration vcost = config_.vertex_generation_cost;
+  const std::uint32_t num_workers = backend.num_workers();
+
+  // Nothing to do before the first arrival.
+  backend.wait_until(workload.front().arrival);
+
+  while (true) {
+    const SimTime t = backend.now();
+
+    // Form Batch(j): merge tasks that arrived up to now, cull unreachable.
+    std::vector<Task> arrived;
+    while (cursor < workload.size() && workload[cursor].arrival <= t) {
+      arrived.push_back(workload[cursor]);
+      ++cursor;
+    }
+    batch.merge_arrivals(arrived);
+    const std::size_t culled_now = batch.cull_missed(t).size();
+    metrics.culled += culled_now;
+
+    PhaseRecord record;
+    record.index = metrics.phases;
+    record.start = t;
+    record.arrivals = arrived.size();
+    record.culled = culled_now;
+    record.batch_size = batch.size();
+
+    if (batch.empty()) {
+      if (cursor >= workload.size()) break;  // pipeline drained
+      // Sleep until the next arrival.
+      backend.wait_until(workload[cursor].arrival);
+      continue;
+    }
+
+    // Q_s(j) from the Fig. 3 criterion (or the fixed-quantum ablation).
+    const SimDuration min_slack = batch.min_slack(t);
+    RTDS_ASSERT_MSG(!min_slack.is_negative(),
+                    "unreachable task survived culling");
+    SimDuration min_load = SimDuration::max();
+    for (std::uint32_t k = 0; k < num_workers; ++k) {
+      min_load = min_duration(min_load, backend.load(k, t));
+    }
+    SimDuration quantum = quantum_.allocate(min_slack, min_load);
+    // The quantum must cover the fixed per-phase overhead plus at least one
+    // vertex generation, or the phase could make no progress.
+    quantum = max_duration(quantum, config_.phase_overhead + vcost);
+    const std::uint64_t budget = static_cast<std::uint64_t>(
+        (quantum - config_.phase_overhead) / vcost);
+
+    // Worker loads as seen at the planned delivery time t_s + Q_s: the
+    // workers drain previous schedules while this phase runs (Sec. 4.4).
+    const SimTime planned_delivery = t + quantum;
+    std::vector<SimDuration> base_loads(num_workers);
+    for (std::uint32_t k = 0; k < num_workers; ++k) {
+      const SimDuration load = backend.load(k, t);
+      base_loads[k] =
+          load <= quantum ? SimDuration::zero() : load - quantum;
+    }
+
+    const SearchResult result = algorithm_.schedule_phase(
+        batch.tasks(), std::move(base_loads), planned_delivery,
+        backend.interconnect(), budget);
+
+    // The host was busy for the vertices it generated plus the fixed
+    // turnover/delivery overhead.
+    SimDuration spent = vcost * std::int64_t(result.stats.vertices_generated);
+    if (spent.is_zero()) spent = vcost;  // defensive: always advance time
+    spent += config_.phase_overhead;
+    RTDS_ASSERT(spent <= quantum);
+    const SimTime phase_end = t + spent;
+
+    metrics.phases += 1;
+    metrics.vertices_generated += result.stats.vertices_generated;
+    metrics.expansions += result.stats.expansions;
+    metrics.backtracks += result.stats.backtracks;
+    metrics.dead_ends += result.stats.dead_end ? 1 : 0;
+    metrics.leaves += result.stats.reached_leaf ? 1 : 0;
+    metrics.budget_exhaustions += result.stats.budget_exhausted ? 1 : 0;
+    metrics.scheduling_time += spent;
+    metrics.allocated_quantum += quantum;
+    metrics.min_quantum_seen = min_duration(metrics.min_quantum_seen, quantum);
+    metrics.max_quantum_seen = max_duration(metrics.max_quantum_seen, quantum);
+
+    if (observer != nullptr) {
+      record.end = phase_end;
+      record.min_slack = min_slack;
+      record.min_load = min_load;
+      record.quantum = quantum;
+      record.vertex_budget = budget;
+      record.search = result.stats;
+      record.scheduled = result.schedule.size();
+      observer->on_phase(record);
+    }
+
+    // Materialize S_j against the batch snapshot, then retire the
+    // scheduled tasks from the batch: they never re-enter later batches.
+    std::vector<machine::ScheduledAssignment> delivery;
+    delivery.reserve(result.schedule.size());
+    std::unordered_set<tasks::TaskId> scheduled_ids;
+    for (const search::Assignment& a : result.schedule) {
+      const Task& task = batch.tasks()[a.task_index];
+      delivery.push_back({task, a.worker});
+      scheduled_ids.insert(task.id);
+    }
+    batch.remove_scheduled(scheduled_ids);
+
+    // Charge the host time, then deliver S_j at t_e and start phase j+1.
+    backend.advance(spent);
+    const std::size_t delivered = backend.deliver(delivery);
+    metrics.scheduled += delivered;
+    metrics.overflow_drops += delivery.size() - delivered;
+  }
+
+  const BackendStats finals = backend.drain();
+  metrics.deadline_hits = finals.deadline_hits;
+  metrics.exec_misses = finals.exec_misses;
+  metrics.finish_time = finals.finish_time;
+  RTDS_ASSERT(metrics.scheduled ==
+              metrics.deadline_hits + metrics.exec_misses);
+  return metrics;
+}
+
+}  // namespace rtds::sched

@@ -1,0 +1,122 @@
+// The backend-agnostic scheduling pipeline (Sec. 4).
+//
+// One implementation of the self-adjusting scheduling phase drives every
+// deployment of the system:
+//
+//   phase j:  t_s = backend.now()
+//     Batch(j)  = Batch(j-1) - scheduled - missed + arrivals during j-1
+//     Q_s(j)    = quantum policy (Fig. 3), from Min_Slack and Min_Load
+//     search    = phase algorithm with vertex budget
+//                 (Q_s - phase_overhead) / vertex_cost
+//     t_e       = t_s + vertices_generated * vertex_cost + phase_overhead
+//     S_j is delivered to the worker ready queues at t_e; phase j+1 starts.
+//
+// Scheduling overhead is charged on the backend's clock exactly as the
+// paper charges physical time on the Paragon's host processor: every
+// generated vertex costs `vertex_generation_cost`, and the predictive
+// feasibility test inside the search already accounted for the full
+// quantum, so delivering early can only improve timeliness (correction
+// theorem). On the DES backends the charge advances the simulated clock;
+// on the threaded backend the wall clock paid for the search as it ran.
+//
+// Batch maintenance, quantum computation, vertex budgeting, feasibility
+// snapshotting and metrics/trace emission all live HERE and only here; the
+// backends (sched/backend.h) supply time, worker loads and delivery.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/time.h"
+#include "sched/algorithm.h"
+#include "sched/backend.h"
+#include "sched/quantum.h"
+#include "sched/trace.h"
+#include "tasks/task.h"
+
+namespace rtds::sched {
+
+using tasks::Task;
+
+/// End-to-end metrics of one scheduling run — the ONE metrics struct shared
+/// by the DES, threaded and partitioned deployments, so runs are directly
+/// comparable across backends.
+struct RunMetrics {
+  std::uint64_t total_tasks{0};
+  std::uint64_t scheduled{0};        ///< delivered to a worker
+  std::uint64_t deadline_hits{0};    ///< executed and met deadline
+  std::uint64_t exec_misses{0};      ///< executed but missed (theorem: 0)
+  std::uint64_t culled{0};           ///< dropped from a batch, unreachable
+  /// Assignments refused by a full ready queue (bounded-mailbox backends;
+  /// always 0 on the DES backends). Counted loudly, never blocks the host.
+  std::uint64_t overflow_drops{0};
+
+  std::uint64_t phases{0};
+  std::uint64_t vertices_generated{0};
+  std::uint64_t expansions{0};
+  std::uint64_t backtracks{0};
+  std::uint64_t dead_ends{0};
+  std::uint64_t leaves{0};           ///< phases reaching a complete schedule
+  std::uint64_t budget_exhaustions{0};
+
+  SimTime finish_time{SimTime::zero()};       ///< all work drained
+  SimDuration scheduling_time{SimDuration::zero()};  ///< host busy time
+  SimDuration allocated_quantum{SimDuration::zero()};  ///< sum of Q_s(j)
+  /// Smallest and largest Q_s(j) allocated across phases — the spread shows
+  /// the self-adjusting criterion at work (equal for a fixed quantum).
+  SimDuration min_quantum_seen{SimDuration::max()};
+  SimDuration max_quantum_seen{SimDuration::zero()};
+
+  /// Deadline compliance: fraction of all offered tasks that completed by
+  /// their deadline (the paper's primary metric).
+  [[nodiscard]] double hit_ratio() const {
+    return total_tasks == 0
+               ? 1.0
+               : double(deadline_hits) / double(total_tasks);
+  }
+  [[nodiscard]] std::uint64_t misses() const {
+    return exec_misses + culled + (total_tasks - scheduled - culled);
+  }
+};
+
+/// Configuration of the pipeline itself (algorithm- and machine-independent).
+struct PipelineConfig {
+  /// Simulated cost of generating + evaluating one vertex on the host
+  /// processor (Sec. 4.1's definition of vertex generation).
+  SimDuration vertex_generation_cost{usec(10)};
+
+  /// Fixed per-phase cost: batch maintenance (merge/cull) plus delivering
+  /// S_j to the worker ready queues over the interconnect. Without it,
+  /// infinitely short phases would be free, which no real pipeline offers
+  /// — this is what makes the Sec. 4.2 quantum criterion a genuine
+  /// trade-off. Charged inside the quantum: the vertex budget of phase j
+  /// is (Q_s(j) - phase_overhead) / vertex_generation_cost, so the
+  /// correction theorem's bound t_e <= t_s + Q_s still holds. The threaded
+  /// backend runs with zero overhead: its per-phase cost is real wall time.
+  SimDuration phase_overhead{usec(50)};
+};
+
+/// Historic name from when this struct configured PhaseScheduler only.
+using DriverConfig = PipelineConfig;
+
+/// Drives a PhaseAlgorithm + QuantumPolicy over an ExecutionBackend.
+class PhasePipeline {
+ public:
+  /// The algorithm and quantum policy must outlive the pipeline.
+  PhasePipeline(const PhaseAlgorithm& algorithm, const QuantumPolicy& quantum,
+                PipelineConfig config = {});
+
+  /// Runs the pipeline until every task has been executed or culled.
+  /// `workload` must be sorted by arrival time. The backend is left in its
+  /// final state so callers can inspect logs. An optional observer receives
+  /// one PhaseRecord per scheduling phase (it must outlive the call).
+  RunMetrics run(const std::vector<Task>& workload, ExecutionBackend& backend,
+                 PhaseObserver* observer = nullptr) const;
+
+ private:
+  const PhaseAlgorithm& algorithm_;
+  const QuantumPolicy& quantum_;
+  PipelineConfig config_;
+};
+
+}  // namespace rtds::sched

@@ -30,6 +30,25 @@ TEST(BoundedQueueTest, CloseDrainsThenSignals) {
   EXPECT_EQ(q.pop(), std::nullopt);  // then closed
 }
 
+TEST(BoundedQueueTest, TryPushRefusesWhenFullWithoutBlocking) {
+  BoundedQueue<int> q(2);
+  EXPECT_TRUE(q.try_push(1));
+  EXPECT_TRUE(q.try_push(2));
+  EXPECT_FALSE(q.try_push(3));  // full: refuse immediately, never block
+  EXPECT_EQ(q.size(), 2u);
+  EXPECT_EQ(q.pop(), 1);
+  EXPECT_TRUE(q.try_push(3));  // capacity freed
+  EXPECT_EQ(q.pop(), 2);
+  EXPECT_EQ(q.pop(), 3);
+}
+
+TEST(BoundedQueueTest, TryPushRefusesWhenClosed) {
+  BoundedQueue<int> q(2);
+  q.close();
+  EXPECT_FALSE(q.try_push(1));
+  EXPECT_EQ(q.pop(), std::nullopt);
+}
+
 TEST(BoundedQueueTest, PopBlocksUntilPush) {
   BoundedQueue<int> q(2);
   std::atomic<int> got{0};

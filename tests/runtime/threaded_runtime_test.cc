@@ -98,7 +98,7 @@ TEST(ThreadedRuntimeTest, PoissonArrivalsDrainCompletely) {
   const auto wl = tasks::generate_workload(wc, rng);
   const RuntimeReport r = run_threaded(*algo, *q, fast_config(3), wl);
   EXPECT_EQ(r.scheduled + r.culled, r.total_tasks);
-  EXPECT_GT(r.elapsed, SimDuration::zero());
+  EXPECT_GT(r.finish_time, SimTime::zero());
 }
 
 TEST(ThreadedRuntimeTest, DColsAlsoRunsLive) {
@@ -135,7 +135,31 @@ TEST(ThreadedRuntimeTest, TimeScaleShrinksWallTime) {
   const RuntimeReport r = run_threaded(*algo, *q, cfg, wl);
   EXPECT_EQ(r.scheduled + r.culled, r.total_tasks);
   // 20 tasks * <=4ms at scale 0.25 over 2 workers: well under a second.
-  EXPECT_LT(r.elapsed, sec(2));
+  EXPECT_LT(r.finish_time - SimTime::zero(), sec(2));
+}
+
+TEST(ThreadedRuntimeTest, MailboxOverflowDropsLoudlyInsteadOfBlocking) {
+  // One worker with a single-slot mailbox and a burst of 16 tasks: the
+  // host must NOT block behind the full mailbox — it drops the excess,
+  // counts every drop, and the run still terminates with balanced books.
+  const auto algo = sched::make_rt_sads();
+  const auto q = sched::make_self_adjusting_quantum(usec(200), msec(10));
+  std::vector<tasks::Task> wl;
+  for (std::uint32_t i = 0; i < 16; ++i) {
+    tasks::Task t;
+    t.id = i;
+    t.arrival = SimTime::zero();
+    t.processing = msec(5);
+    t.deadline = SimTime::zero() + sec(120);
+    t.affinity.add(0);
+    wl.push_back(t);
+  }
+  RuntimeConfig cfg = fast_config(1);
+  cfg.mailbox_capacity = 1;
+  const RuntimeReport r = run_threaded(*algo, *q, cfg, wl);
+  EXPECT_GT(r.overflow_drops, 0u);
+  EXPECT_EQ(r.deadline_hits + r.exec_misses, r.scheduled);
+  EXPECT_LE(r.scheduled + r.overflow_drops + r.culled, r.total_tasks);
 }
 
 }  // namespace

@@ -4,6 +4,7 @@
 
 #include "common/error.h"
 #include "common/rng.h"
+#include "sched/backend.h"
 #include "sched/presets.h"
 #include "sched/quantum.h"
 #include "tasks/workload.h"
@@ -55,7 +56,9 @@ TEST(RunPartitionedTest, ValidatesConfiguration) {
   EXPECT_THROW(run_partitioned(*algo, *q, cfg, {}), InvalidArgument);
 }
 
-TEST(RunPartitionedTest, SingleShardMatchesPlainScheduler) {
+TEST(RunPartitionedTest, SingleShardMatchesSimBackendExactly) {
+  // K=1 partitioned-vs-sim parity: the partitioned path must be the SAME
+  // pipeline over an equivalent host, so every RunMetrics field agrees.
   const auto algo = make_rt_sads();
   const auto q = make_self_adjusting_quantum(usec(100), msec(10));
   tasks::WorkloadConfig wc;
@@ -74,13 +77,30 @@ TEST(RunPartitionedTest, SingleShardMatchesPlainScheduler) {
 
   machine::Cluster cluster(4, machine::Interconnect::cut_through(4, msec(2)));
   sim::Simulator sim;
-  const PhaseScheduler plain(*algo, *q, cfg.driver);
-  const RunMetrics m = plain.run(wl, cluster, sim);
+  const PhasePipeline pipeline(*algo, *q, cfg.driver);
+  SimBackend backend(cluster, sim);
+  const RunMetrics m = pipeline.run(wl, backend);
 
   ASSERT_EQ(pm.shards.size(), 1u);
-  EXPECT_EQ(pm.deadline_hits(), m.deadline_hits);
-  EXPECT_EQ(pm.total_tasks(), m.total_tasks);
-  EXPECT_EQ(pm.finish_time(), m.finish_time);
+  const RunMetrics& s = pm.shards[0];
+  EXPECT_EQ(s.total_tasks, m.total_tasks);
+  EXPECT_EQ(s.scheduled, m.scheduled);
+  EXPECT_EQ(s.deadline_hits, m.deadline_hits);
+  EXPECT_EQ(s.exec_misses, m.exec_misses);
+  EXPECT_EQ(s.culled, m.culled);
+  EXPECT_EQ(s.overflow_drops, m.overflow_drops);
+  EXPECT_EQ(s.phases, m.phases);
+  EXPECT_EQ(s.vertices_generated, m.vertices_generated);
+  EXPECT_EQ(s.expansions, m.expansions);
+  EXPECT_EQ(s.backtracks, m.backtracks);
+  EXPECT_EQ(s.dead_ends, m.dead_ends);
+  EXPECT_EQ(s.leaves, m.leaves);
+  EXPECT_EQ(s.budget_exhaustions, m.budget_exhaustions);
+  EXPECT_EQ(s.finish_time, m.finish_time);
+  EXPECT_EQ(s.scheduling_time, m.scheduling_time);
+  EXPECT_EQ(s.allocated_quantum, m.allocated_quantum);
+  EXPECT_EQ(s.min_quantum_seen, m.min_quantum_seen);
+  EXPECT_EQ(s.max_quantum_seen, m.max_quantum_seen);
 }
 
 TEST(RunPartitionedTest, TheoremHoldsAcrossShards) {
