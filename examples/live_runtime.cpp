@@ -53,10 +53,18 @@ int main(int argc, char** argv) {
             << "missed in execution : " << r.exec_misses
             << "  (wall-clock jitter can cause a few)\n"
             << "culled              : " << r.culled << "\n"
-            << "mailbox overflows   : " << r.overflow_drops << "\n"
+            << "rejected            : " << r.rejected << "\n"
+            << "mailbox overflows   : " << r.overflow_drops
+            << "  (readmitted " << r.readmissions << ", backpressure pauses "
+            << r.backpressure_waits << ")\n"
             << "hit ratio           : " << r.hit_ratio() * 100.0 << "%\n"
             << "scheduling phases   : " << r.phases << "\n"
             << "elapsed             : "
             << (r.finish_time - SimTime::zero()).millis() << " ms\n";
+  const std::uint64_t accounted =
+      r.deadline_hits + r.exec_misses + r.culled + r.rejected;
+  std::cout << "conservation        : " << accounted << "/" << r.total_tasks
+            << (accounted == r.total_tasks ? " (balanced)" : " (VIOLATED)")
+            << "\n";
   return 0;
 }

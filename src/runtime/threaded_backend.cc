@@ -33,11 +33,14 @@ ThreadedBackend::ThreadedBackend(const RuntimeConfig& config)
                                             config_.time_scale);
         std::this_thread::sleep_for(std::chrono::microseconds(scaled_us));
         const SimTime end = now();
-        if (end <= item->task.deadline) {
+        const bool hit = end <= item->task.deadline;
+        if (hit) {
           hits_.fetch_add(1, std::memory_order_relaxed);
         } else {
           misses_.fetch_add(1, std::memory_order_relaxed);
         }
+        std::lock_guard lock(outcomes_mutex_);
+        outcomes_.push_back({item->task.id, hit});
       }
     });
   }
@@ -75,20 +78,26 @@ void ThreadedBackend::advance(SimDuration /*host_busy*/) {
   // charge the DES backends apply has no threaded counterpart.
 }
 
-std::size_t ThreadedBackend::deliver(
+sched::DeliveryResult ThreadedBackend::deliver(
     const std::vector<machine::ScheduledAssignment>& schedule) {
-  std::size_t delivered = 0;
+  sched::DeliveryResult out;
   for (const machine::ScheduledAssignment& sa : schedule) {
     RTDS_REQUIRE(sa.worker < config_.num_workers, "deliver: bad worker id");
     const SimDuration cost =
         sa.task.processing + net_.comm_cost(sa.task.affinity, sa.worker);
-    if (!mailboxes_[sa.worker]->try_push(WorkItem{sa.task, cost})) {
-      // Fail loudly instead of blocking the host behind a slow worker: the
-      // task is dropped here and surfaces as an overflow drop, not a hang.
+    // A full mailbox is retried briefly — a worker popping its next item
+    // frees a slot within microseconds — but the total wait is bounded:
+    // the host must never hang behind a stuck worker.
+    bool pushed = mailboxes_[sa.worker]->try_push(WorkItem{sa.task, cost});
+    for (std::uint32_t attempt = 0;
+         !pushed && attempt < config_.delivery_retries; ++attempt) {
+      std::this_thread::sleep_for(
+          std::chrono::microseconds(config_.delivery_backoff.us));
+      pushed = mailboxes_[sa.worker]->try_push(WorkItem{sa.task, cost});
+    }
+    if (!pushed) {
       overflow_drops_.fetch_add(1, std::memory_order_relaxed);
-      RTDS_WARN << "mailbox overflow: worker " << sa.worker
-                << " full (capacity " << config_.mailbox_capacity
-                << "), dropping task " << sa.task.id;
+      out.undelivered.push_back(sa);
       continue;
     }
     const SimTime push_time = now();
@@ -96,18 +105,37 @@ std::size_t ThreadedBackend::deliver(
         busy_until_[sa.worker] < push_time ? push_time
                                            : busy_until_[sa.worker];
     busy_until_[sa.worker] = start + cost;
-    ++delivered;
+    ++out.accepted;
   }
-  return delivered;
+  if (!out.undelivered.empty()) {
+    // One aggregated warning per phase, not one per dropped task.
+    RTDS_WARN << "mailbox overflow: " << out.undelivered.size() << " of "
+              << schedule.size() << " assignments refused this phase "
+              << "(capacity " << config_.mailbox_capacity << ", "
+              << config_.delivery_retries << " retries of "
+              << config_.delivery_backoff.us
+              << "us); refused tasks are readmitted";
+  }
+  return out;
 }
 
 sched::BackendStats ThreadedBackend::drain() {
   shutdown();
+  if (ledger_ != nullptr) {
+    // Workers are joined: the outcome buffer is complete and quiescent.
+    std::lock_guard lock(outcomes_mutex_);
+    for (const Outcome& o : outcomes_) ledger_->execute(o.task, o.hit);
+    outcomes_.clear();
+  }
   sched::BackendStats out;
   out.deadline_hits = hits_.load();
   out.exec_misses = misses_.load();
   out.finish_time = now();
   return out;
+}
+
+void ThreadedBackend::bind_ledger(sched::TaskLedger* ledger) {
+  ledger_ = ledger;
 }
 
 void ThreadedBackend::shutdown() {

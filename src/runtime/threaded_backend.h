@@ -14,15 +14,19 @@
 // consumed real host time already, which is exactly the quantity the DES
 // charges synthetically.
 //
-// Overflow policy: delivery into a full mailbox is refused loudly
-// (counted + logged) instead of blocking the host thread behind a slow
-// worker; see RuntimeConfig::mailbox_capacity.
+// Overflow policy: delivery into a full mailbox is retried a few times
+// with a short bounded backoff, then refused loudly — the refusal is
+// counted, reported back to the pipeline by task identity (readmission),
+// and summarized in one warning per phase — instead of blocking the host
+// thread indefinitely behind a slow worker; see
+// RuntimeConfig::mailbox_capacity / delivery_retries / delivery_backoff.
 #pragma once
 
 #include <atomic>
 #include <chrono>
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <thread>
 #include <vector>
 
@@ -43,9 +47,20 @@ struct RuntimeConfig {
   /// Execution sleep = execution cost * time_scale. Values < 1 shrink the
   /// wall time of demos; 1.0 executes in real time.
   double time_scale{1.0};
-  /// Ready-queue depth per worker. Deliveries beyond this are dropped and
-  /// counted (RunMetrics::overflow_drops), never blocked on.
+  /// Ready-queue depth per worker. Deliveries beyond this are refused and
+  /// counted (RunMetrics::overflow_drops), never blocked on indefinitely;
+  /// the pipeline readmits refused tasks into the next batch.
   std::size_t mailbox_capacity{1024};
+  /// On a full mailbox the host retries the push this many times, sleeping
+  /// `delivery_backoff` between attempts, before declaring the drop. The
+  /// total wait is bounded by delivery_retries * delivery_backoff, so a
+  /// stuck worker can only stall the host briefly. 0 = drop immediately.
+  std::uint32_t delivery_retries{3};
+  SimDuration delivery_backoff{usec(100)};
+  /// Pipeline-level delivery budget per task (PipelineConfig::
+  /// max_delivery_attempts): refused tasks are readmitted until this many
+  /// deliver() refusals, then retired as `rejected`. 0 = unbounded.
+  std::uint32_t max_delivery_attempts{8};
 };
 
 /// ExecutionBackend over std::thread workers + bounded mailboxes.
@@ -67,9 +82,10 @@ class ThreadedBackend final : public sched::ExecutionBackend {
                                  SimTime t) const override;
   void wait_until(SimTime t) override;
   void advance(SimDuration host_busy) override;
-  std::size_t deliver(
+  sched::DeliveryResult deliver(
       const std::vector<machine::ScheduledAssignment>& schedule) override;
   sched::BackendStats drain() override;
+  void bind_ledger(sched::TaskLedger* ledger) override;
 
   /// Deliveries refused because a mailbox was full (mirrored into
   /// RunMetrics::overflow_drops by the pipeline).
@@ -81,6 +97,11 @@ class ThreadedBackend final : public sched::ExecutionBackend {
   struct WorkItem {
     tasks::Task task;
     SimDuration exec_cost;
+  };
+  /// Per-task terminal outcome, judged by a worker against the wall clock.
+  struct Outcome {
+    tasks::TaskId task;
+    bool hit;
   };
   using Clock = std::chrono::steady_clock;
 
@@ -99,6 +120,11 @@ class ThreadedBackend final : public sched::ExecutionBackend {
   std::atomic<std::uint64_t> hits_{0};
   std::atomic<std::uint64_t> misses_{0};
   std::atomic<std::uint64_t> overflow_drops_{0};
+  /// Outcomes buffered by the workers and flushed into the bound ledger
+  /// after the join in drain() — the ledger itself stays host-thread-only.
+  std::mutex outcomes_mutex_;
+  std::vector<Outcome> outcomes_;
+  sched::TaskLedger* ledger_{nullptr};
   bool joined_{false};
 };
 

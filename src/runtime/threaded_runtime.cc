@@ -19,6 +19,7 @@ RuntimeReport run_threaded(const sched::PhaseAlgorithm& algorithm,
   sched::PipelineConfig pipeline_cfg;
   pipeline_cfg.vertex_generation_cost = config.vertex_cost;
   pipeline_cfg.phase_overhead = SimDuration::zero();
+  pipeline_cfg.max_delivery_attempts = config.max_delivery_attempts;
   const sched::PhasePipeline pipeline(algorithm, quantum, pipeline_cfg);
 
   ThreadedBackend backend(config);

@@ -5,7 +5,10 @@
 namespace rtds::sched {
 
 SimBackend::SimBackend(machine::Cluster& cluster, sim::Simulator& sim)
-    : cluster_(cluster), sim_(sim), initial_(cluster.stats()) {}
+    : cluster_(cluster),
+      sim_(sim),
+      initial_(cluster.stats()),
+      initial_log_size_(cluster.log().size()) {}
 
 std::uint32_t SimBackend::num_workers() const {
   return cluster_.num_workers();
@@ -29,14 +32,22 @@ void SimBackend::advance(SimDuration host_busy) {
   sim_.run_until(sim_.now() + host_busy);
 }
 
-std::size_t SimBackend::deliver(
+DeliveryResult SimBackend::deliver(
     const std::vector<machine::ScheduledAssignment>& schedule) {
   cluster_.deliver(schedule, sim_.now());
-  return schedule.size();
+  return DeliveryResult{schedule.size(), {}};  // unbounded queues: no refusals
 }
 
 BackendStats SimBackend::drain() {
   sim_.run();  // fire any events a caller scheduled alongside the pipeline
+  if (ledger_ != nullptr) {
+    // Per-task terminal outcomes: everything the cluster executed during
+    // this run (clusters may be reused; skip pre-existing log entries).
+    const auto& log = cluster_.log();
+    for (std::size_t i = initial_log_size_; i < log.size(); ++i) {
+      ledger_->execute(log[i].task, log[i].met_deadline());
+    }
+  }
   const machine::ExecutionStats finals = cluster_.stats();
   BackendStats out;
   out.deadline_hits = finals.deadline_hits - initial_.deadline_hits;
@@ -45,6 +56,8 @@ BackendStats SimBackend::drain() {
       cluster_.makespan() > sim_.now() ? cluster_.makespan() : sim_.now();
   return out;
 }
+
+void SimBackend::bind_ledger(TaskLedger* ledger) { ledger_ = ledger; }
 
 PartitionedBackend::Host::Host(std::uint32_t workers, SimDuration comm_cost,
                                machine::ReclaimMode reclaim)

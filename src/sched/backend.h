@@ -25,6 +25,7 @@
 #include "common/time.h"
 #include "machine/cluster.h"
 #include "machine/interconnect.h"
+#include "sched/ledger.h"
 #include "sim/simulator.h"
 
 namespace rtds::sched {
@@ -34,6 +35,15 @@ struct BackendStats {
   std::uint64_t deadline_hits{0};
   std::uint64_t exec_misses{0};
   SimTime finish_time{SimTime::zero()};  ///< all delivered work drained
+};
+
+/// Outcome of one deliver() call. A backend with bounded ready queues may
+/// refuse part of the schedule; the refused assignments are returned by
+/// identity (not just counted) so the pipeline can readmit the tasks into
+/// the next batch instead of losing them.
+struct DeliveryResult {
+  std::size_t accepted{0};
+  std::vector<machine::ScheduledAssignment> undelivered;
 };
 
 /// The machine surface the phase pipeline schedules against.
@@ -64,15 +74,23 @@ class ExecutionBackend {
   /// generating vertices and delivering S_j for this long.
   virtual void advance(SimDuration host_busy) = 0;
 
-  /// Appends the schedule to the worker ready queues. Returns how many
-  /// assignments were actually accepted — a backend with bounded queues may
-  /// refuse some (counted by the pipeline as overflow drops).
-  virtual std::size_t deliver(
+  /// Appends the schedule to the worker ready queues. Backends with bounded
+  /// queues report the assignments they refused (counted by the pipeline as
+  /// overflow drops and readmitted into the next batch); DES backends accept
+  /// everything.
+  virtual DeliveryResult deliver(
       const std::vector<machine::ScheduledAssignment>& schedule) = 0;
 
   /// Waits for every delivered task to finish executing and reports the
   /// terminal counts. Called exactly once, after the last phase.
   virtual BackendStats drain() = 0;
+
+  /// Attaches the pipeline's task ledger. A bound backend must report the
+  /// per-task terminal outcome (hit or miss) of every accepted delivery via
+  /// ledger->execute() before drain() returns; the pipeline binds the
+  /// ledger before the first phase and detaches it (nullptr) after drain.
+  /// The ledger is only ever touched from the host thread.
+  virtual void bind_ledger(TaskLedger* ledger) = 0;
 };
 
 /// DES backend: machine::Cluster for execution, sim::Simulator for time.
@@ -90,14 +108,17 @@ class SimBackend final : public ExecutionBackend {
                                  SimTime t) const override;
   void wait_until(SimTime t) override;
   void advance(SimDuration host_busy) override;
-  std::size_t deliver(
+  DeliveryResult deliver(
       const std::vector<machine::ScheduledAssignment>& schedule) override;
   BackendStats drain() override;
+  void bind_ledger(TaskLedger* ledger) override;
 
  private:
   machine::Cluster& cluster_;
   sim::Simulator& sim_;
   machine::ExecutionStats initial_;
+  std::size_t initial_log_size_;
+  TaskLedger* ledger_{nullptr};
 };
 
 /// K scheduling hosts, each owning an equal shard of the workers with its

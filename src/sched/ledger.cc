@@ -1,0 +1,107 @@
+#include "sched/ledger.h"
+
+#include <sstream>
+
+#include "common/error.h"
+
+namespace rtds::sched {
+
+const char* to_string(TaskState state) {
+  switch (state) {
+    case TaskState::kArrived: return "arrived";
+    case TaskState::kBatched: return "batched";
+    case TaskState::kScheduled: return "scheduled";
+    case TaskState::kDelivered: return "delivered";
+    case TaskState::kDeadlineHit: return "deadline_hit";
+    case TaskState::kExecMiss: return "exec_miss";
+    case TaskState::kCulled: return "culled";
+    case TaskState::kRejected: return "rejected";
+  }
+  return "unknown";
+}
+
+void TaskLedger::arrive(tasks::TaskId id) {
+  const bool inserted = states_.emplace(id, TaskState::kArrived).second;
+  RTDS_ASSERT_MSG(inserted, "TaskLedger: task arrived twice");
+  ++counts_.total;
+  ++counts_.in_flight;
+}
+
+void TaskLedger::admit(tasks::TaskId id) {
+  transition(id, TaskState::kArrived, TaskState::kBatched);
+}
+
+void TaskLedger::schedule(tasks::TaskId id) {
+  transition(id, TaskState::kBatched, TaskState::kScheduled);
+}
+
+void TaskLedger::deliver(tasks::TaskId id) {
+  transition(id, TaskState::kScheduled, TaskState::kDelivered);
+}
+
+void TaskLedger::drop(tasks::TaskId id) {
+  transition(id, TaskState::kScheduled, TaskState::kBatched);
+}
+
+void TaskLedger::cull(tasks::TaskId id) {
+  transition(id, TaskState::kBatched, TaskState::kCulled);
+  ++counts_.culled;
+  --counts_.in_flight;
+}
+
+void TaskLedger::reject(tasks::TaskId id) {
+  transition(id, TaskState::kScheduled, TaskState::kRejected);
+  ++counts_.rejected;
+  --counts_.in_flight;
+}
+
+void TaskLedger::execute(tasks::TaskId id, bool hit) {
+  transition(id, TaskState::kDelivered,
+             hit ? TaskState::kDeadlineHit : TaskState::kExecMiss);
+  if (hit) {
+    ++counts_.deadline_hits;
+  } else {
+    ++counts_.exec_misses;
+  }
+  --counts_.in_flight;
+}
+
+bool TaskLedger::known(tasks::TaskId id) const {
+  return states_.count(id) > 0;
+}
+
+TaskState TaskLedger::state(tasks::TaskId id) const {
+  const auto it = states_.find(id);
+  RTDS_ASSERT_MSG(it != states_.end(), "TaskLedger: unknown task id");
+  return it->second;
+}
+
+void TaskLedger::check_conserved() const {
+  if (counts_.conserved()) return;
+  std::ostringstream os;
+  os << "task conservation violated: total " << counts_.total
+     << " != deadline_hits " << counts_.deadline_hits << " + exec_misses "
+     << counts_.exec_misses << " + culled " << counts_.culled
+     << " + rejected " << counts_.rejected << " (in flight "
+     << counts_.in_flight << ")";
+  RTDS_ASSERT_MSG(false, os.str());
+}
+
+void TaskLedger::clear() {
+  states_.clear();
+  counts_ = LedgerCounts{};
+}
+
+void TaskLedger::transition(tasks::TaskId id, TaskState from, TaskState to) {
+  const auto it = states_.find(id);
+  RTDS_ASSERT_MSG(it != states_.end(), "TaskLedger: unknown task id");
+  if (it->second != from) {
+    std::ostringstream os;
+    os << "TaskLedger: task " << id << " is " << to_string(it->second)
+       << ", cannot move " << to_string(from) << " -> " << to_string(to);
+    RTDS_ASSERT_MSG(false, os.str());
+  }
+  it->second = to;
+}
+
+}  // namespace rtds::sched

@@ -1,0 +1,105 @@
+// Task-conservation ledger: exact accounting of every offered task.
+//
+// PR 1 made mailbox delivery non-blocking, which introduced a loss channel
+// the metrics could not see: an assignment refused by a full mailbox was
+// retired from the batch as if it had been delivered, so it was never
+// executed, never re-scheduled, and never counted — a silent violation of
+// the correction theorem's promise under overload. The ledger closes that
+// hole by tracking every task through an explicit lifecycle:
+//
+//   arrived → batched → scheduled → delivered → {deadline_hit, exec_miss}
+//                │           │
+//                │           ├─ dropped (delivery refused) → batched again
+//                │           └─ rejected (delivery attempts exhausted)
+//                └─ culled   (deadline unreachable before scheduling)
+//
+// and enforcing the conservation invariant at drain time:
+//
+//   total_tasks == deadline_hits + exec_misses + culled + rejected
+//
+// The pipeline (sched/pipeline.cc) drives the pre-delivery transitions;
+// each ExecutionBackend reports the per-task terminal outcome (hit/miss)
+// when it drains. Illegal transitions throw InvariantViolation — a task
+// can never be double-counted or skipped a state.
+//
+// The ledger is host-thread-only: backends with worker threads buffer
+// outcomes internally and flush them after joining (see ThreadedBackend).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+
+#include "tasks/task.h"
+
+namespace rtds::sched {
+
+/// Lifecycle state of one task. kDeadlineHit, kExecMiss, kCulled and
+/// kRejected are terminal; everything else is in flight.
+enum class TaskState : std::uint8_t {
+  kArrived,      ///< offered to the pipeline, not yet in a batch
+  kBatched,      ///< pending in the current batch (also after a drop)
+  kScheduled,    ///< assigned by the search, delivery in progress
+  kDelivered,    ///< accepted into a worker ready queue
+  kDeadlineHit,  ///< executed and met its deadline
+  kExecMiss,     ///< executed but missed (theorem: 0 on the DES)
+  kCulled,       ///< dropped from a batch, deadline unreachable
+  kRejected,     ///< delivery refused max_delivery_attempts times
+};
+
+[[nodiscard]] const char* to_string(TaskState state);
+
+/// Aggregate view of a ledger; conserved() is the drain-time invariant.
+struct LedgerCounts {
+  std::uint64_t total{0};
+  std::uint64_t deadline_hits{0};
+  std::uint64_t exec_misses{0};
+  std::uint64_t culled{0};
+  std::uint64_t rejected{0};
+  std::uint64_t in_flight{0};  ///< tasks not yet in a terminal state
+
+  /// Every offered task reached exactly one terminal state.
+  [[nodiscard]] bool conserved() const {
+    return in_flight == 0 &&
+           total == deadline_hits + exec_misses + culled + rejected;
+  }
+};
+
+/// Tracks the lifecycle state of every task in one pipeline run.
+class TaskLedger {
+ public:
+  TaskLedger() = default;
+
+  // -- transitions (each validates the source state) ------------------------
+  void arrive(tasks::TaskId id);             ///< (new) → arrived
+  void admit(tasks::TaskId id);              ///< arrived → batched
+  void schedule(tasks::TaskId id);           ///< batched → scheduled
+  void deliver(tasks::TaskId id);            ///< scheduled → delivered
+  void drop(tasks::TaskId id);               ///< scheduled → batched (readmit)
+  void cull(tasks::TaskId id);               ///< batched → culled
+  void reject(tasks::TaskId id);             ///< scheduled → rejected
+  void execute(tasks::TaskId id, bool hit);  ///< delivered → hit | miss
+
+  // -- inspection -----------------------------------------------------------
+  [[nodiscard]] bool known(tasks::TaskId id) const;
+  [[nodiscard]] TaskState state(tasks::TaskId id) const;
+  [[nodiscard]] const LedgerCounts& counts() const { return counts_; }
+  [[nodiscard]] std::size_t size() const { return states_.size(); }
+  [[nodiscard]] const std::unordered_map<tasks::TaskId, TaskState>& states()
+      const {
+    return states_;
+  }
+
+  /// Throws InvariantViolation unless counts().conserved().
+  void check_conserved() const;
+
+  void clear();
+
+ private:
+  void transition(tasks::TaskId id, TaskState from, TaskState to);
+
+  std::unordered_map<tasks::TaskId, TaskState> states_;
+  LedgerCounts counts_;
+};
+
+}  // namespace rtds::sched

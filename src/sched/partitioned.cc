@@ -24,6 +24,18 @@ std::uint64_t PartitionedMetrics::exec_misses() const {
   return n;
 }
 
+std::uint64_t PartitionedMetrics::culled() const {
+  std::uint64_t n = 0;
+  for (const RunMetrics& m : shards) n += m.culled;
+  return n;
+}
+
+std::uint64_t PartitionedMetrics::rejected() const {
+  std::uint64_t n = 0;
+  for (const RunMetrics& m : shards) n += m.rejected;
+  return n;
+}
+
 double PartitionedMetrics::hit_ratio() const {
   const std::uint64_t total = total_tasks();
   return total == 0 ? 1.0 : double(deadline_hits()) / double(total);

@@ -44,8 +44,16 @@ struct PartitionedMetrics {
   [[nodiscard]] std::uint64_t total_tasks() const;
   [[nodiscard]] std::uint64_t deadline_hits() const;
   [[nodiscard]] std::uint64_t exec_misses() const;
+  [[nodiscard]] std::uint64_t culled() const;
+  [[nodiscard]] std::uint64_t rejected() const;
   [[nodiscard]] double hit_ratio() const;
   [[nodiscard]] SimTime finish_time() const;
+
+  /// Cross-shard task conservation: no shard lost a task silently.
+  [[nodiscard]] bool conserved() const {
+    return total_tasks() ==
+           deadline_hits() + exec_misses() + culled() + rejected();
+  }
 };
 
 /// Routes `workload` across shards and runs the shared PhasePipeline once

@@ -1,5 +1,6 @@
 #include "sched/pipeline.h"
 
+#include <unordered_map>
 #include <unordered_set>
 #include <utility>
 
@@ -16,11 +17,14 @@ PhasePipeline::PhasePipeline(const PhaseAlgorithm& algorithm,
                "PhasePipeline: vertex cost must be positive");
   RTDS_REQUIRE(!config_.phase_overhead.is_negative(),
                "PhasePipeline: negative phase overhead");
+  RTDS_REQUIRE(!config_.delivery_backpressure.is_negative(),
+               "PhasePipeline: negative delivery backpressure");
 }
 
 RunMetrics PhasePipeline::run(const std::vector<Task>& workload,
                               ExecutionBackend& backend,
-                              PhaseObserver* observer) const {
+                              PhaseObserver* observer,
+                              TaskLedger* external_ledger) const {
   for (std::size_t i = 1; i < workload.size(); ++i) {
     RTDS_REQUIRE(workload[i - 1].arrival <= workload[i].arrival,
                  "PhasePipeline: workload must be sorted by arrival");
@@ -33,10 +37,18 @@ RunMetrics PhasePipeline::run(const std::vector<Task>& workload,
     return metrics;
   }
 
+  // Every run keeps a ledger — conservation is enforced, not opt-in.
+  TaskLedger local_ledger;
+  TaskLedger& ledger = external_ledger ? *external_ledger : local_ledger;
+  backend.bind_ledger(&ledger);
+
   tasks::Batch batch;
   std::size_t cursor = 0;
   const SimDuration vcost = config_.vertex_generation_cost;
   const std::uint32_t num_workers = backend.num_workers();
+  // Deliveries refused so far, per task: a task whose budget is spent is
+  // retired as rejected instead of readmitted.
+  std::unordered_map<tasks::TaskId, std::uint32_t> delivery_attempts;
 
   // Nothing to do before the first arrival.
   backend.wait_until(workload.front().arrival);
@@ -50,15 +62,20 @@ RunMetrics PhasePipeline::run(const std::vector<Task>& workload,
       arrived.push_back(workload[cursor]);
       ++cursor;
     }
+    for (const Task& task : arrived) {
+      ledger.arrive(task.id);
+      ledger.admit(task.id);
+    }
     batch.merge_arrivals(arrived);
-    const std::size_t culled_now = batch.cull_missed(t).size();
-    metrics.culled += culled_now;
+    const std::vector<Task> culled_tasks = batch.cull_missed(t);
+    for (const Task& task : culled_tasks) ledger.cull(task.id);
+    metrics.culled += culled_tasks.size();
 
     PhaseRecord record;
     record.index = metrics.phases;
     record.start = t;
     record.arrivals = arrived.size();
-    record.culled = culled_now;
+    record.culled = culled_tasks.size();
     record.batch_size = batch.size();
 
     if (batch.empty()) {
@@ -78,8 +95,16 @@ RunMetrics PhasePipeline::run(const std::vector<Task>& workload,
     }
     SimDuration quantum = quantum_.allocate(min_slack, min_load);
     // The quantum must cover the fixed per-phase overhead plus at least one
-    // vertex generation, or the phase could make no progress.
-    quantum = max_duration(quantum, config_.phase_overhead + vcost);
+    // vertex generation, or the phase could make no progress. Raising it
+    // can push Q_s past max_quantum and past the paper's
+    // Q_s <= max(Min_Slack, Min_Load) bound, so the override is counted
+    // and surfaced in the trace rather than applied silently.
+    const SimDuration quantum_floor = config_.phase_overhead + vcost;
+    const bool floor_override = quantum < quantum_floor;
+    if (floor_override) {
+      quantum = quantum_floor;
+      metrics.quantum_floor_overrides += 1;
+    }
     const std::uint64_t budget = static_cast<std::uint64_t>(
         (quantum - config_.phase_overhead) / vcost);
 
@@ -117,19 +142,9 @@ RunMetrics PhasePipeline::run(const std::vector<Task>& workload,
     metrics.min_quantum_seen = min_duration(metrics.min_quantum_seen, quantum);
     metrics.max_quantum_seen = max_duration(metrics.max_quantum_seen, quantum);
 
-    if (observer != nullptr) {
-      record.end = phase_end;
-      record.min_slack = min_slack;
-      record.min_load = min_load;
-      record.quantum = quantum;
-      record.vertex_budget = budget;
-      record.search = result.stats;
-      record.scheduled = result.schedule.size();
-      observer->on_phase(record);
-    }
-
-    // Materialize S_j against the batch snapshot, then retire the
-    // scheduled tasks from the batch: they never re-enter later batches.
+    // Materialize S_j against the batch snapshot. The scheduled tasks are
+    // retired from the batch only after deliver() reports which of them the
+    // backend actually accepted — a refused assignment must not disappear.
     std::vector<machine::ScheduledAssignment> delivery;
     delivery.reserve(result.schedule.size());
     std::unordered_set<tasks::TaskId> scheduled_ids;
@@ -137,22 +152,104 @@ RunMetrics PhasePipeline::run(const std::vector<Task>& workload,
       const Task& task = batch.tasks()[a.task_index];
       delivery.push_back({task, a.worker});
       scheduled_ids.insert(task.id);
+      ledger.schedule(task.id);
     }
-    batch.remove_scheduled(scheduled_ids);
 
     // Charge the host time, then deliver S_j at t_e and start phase j+1.
     backend.advance(spent);
-    const std::size_t delivered = backend.deliver(delivery);
-    metrics.scheduled += delivered;
-    metrics.overflow_drops += delivery.size() - delivered;
+    const DeliveryResult delivered = backend.deliver(delivery);
+    metrics.scheduled += delivered.accepted;
+    metrics.overflow_drops += delivered.undelivered.size();
+
+    // Retire from the batch exactly the tasks that left the pipeline:
+    // accepted deliveries and tasks whose delivery budget is spent. A
+    // refused task with attempts remaining stays pending — that is the
+    // readmission path — so a later phase schedules it again.
+    std::unordered_set<tasks::TaskId> retired_ids = scheduled_ids;
+    std::uint64_t readmitted_now = 0;
+    std::uint64_t rejected_now = 0;
+    SimDuration min_refused_load = SimDuration::max();
+    for (const machine::ScheduledAssignment& refused :
+         delivered.undelivered) {
+      const std::uint32_t attempts = ++delivery_attempts[refused.task.id];
+      if (config_.max_delivery_attempts != 0 &&
+          attempts >= config_.max_delivery_attempts) {
+        ledger.reject(refused.task.id);
+        metrics.rejected += 1;
+        rejected_now += 1;
+        continue;  // stays in retired_ids: leaves the pipeline for good
+      }
+      ledger.drop(refused.task.id);
+      batch.readmit(refused.task);  // no-op when still pending (the rule)
+      retired_ids.erase(refused.task.id);
+      metrics.readmissions += 1;
+      readmitted_now += 1;
+      min_refused_load = min_duration(
+          min_refused_load, backend.load(refused.worker, backend.now()));
+    }
+    // Everything scheduled this phase that was neither readmitted nor
+    // rejected was accepted by the backend.
+    std::unordered_set<tasks::TaskId> refused_ids;
+    for (const machine::ScheduledAssignment& refused : delivered.undelivered)
+      refused_ids.insert(refused.task.id);
+    for (const tasks::TaskId id : scheduled_ids) {
+      if (refused_ids.count(id) == 0) ledger.deliver(id);
+    }
+    batch.remove_scheduled(retired_ids);
+
+    if (observer != nullptr) {
+      record.end = phase_end;
+      record.min_slack = min_slack;
+      record.min_load = min_load;
+      record.quantum = quantum;
+      record.vertex_budget = budget;
+      record.quantum_floor_override = floor_override;
+      record.search = result.stats;
+      record.scheduled = result.schedule.size();
+      record.delivered = delivered.accepted;
+      record.overflow_drops = delivered.undelivered.size();
+      record.readmitted = readmitted_now;
+      record.rejected = rejected_now;
+      observer->on_phase(record);
+    }
+
+    // Backpressure: when delivery was refused, pause before rescheduling so
+    // the saturated workers drain instead of the host burning the refused
+    // tasks' delivery budgets in a hot loop. Wait at least the configured
+    // floor, at most until the least-loaded refused worker would be idle,
+    // and never longer than the batch's min slack (waiting must not by
+    // itself make a pending task unreachable).
+    if (readmitted_now > 0 && !config_.delivery_backpressure.is_zero()) {
+      SimDuration pause = min_refused_load;
+      if (!batch.empty()) {
+        pause = min_duration(pause, batch.min_slack(backend.now()));
+      }
+      pause = max_duration(pause, config_.delivery_backpressure);
+      backend.wait_until(backend.now() + pause);
+      metrics.backpressure_waits += 1;
+    }
   }
 
   const BackendStats finals = backend.drain();
+  backend.bind_ledger(nullptr);
   metrics.deadline_hits = finals.deadline_hits;
   metrics.exec_misses = finals.exec_misses;
   metrics.finish_time = finals.finish_time;
   RTDS_ASSERT(metrics.scheduled ==
               metrics.deadline_hits + metrics.exec_misses);
+
+  // Task conservation: every offered task is in exactly one terminal state
+  // and the ledger agrees with the aggregate metrics.
+  ledger.check_conserved();
+  const LedgerCounts& counts = ledger.counts();
+  RTDS_ASSERT(counts.total == metrics.total_tasks);
+  RTDS_ASSERT(counts.deadline_hits == metrics.deadline_hits);
+  RTDS_ASSERT(counts.exec_misses == metrics.exec_misses);
+  RTDS_ASSERT(counts.culled == metrics.culled);
+  RTDS_ASSERT(counts.rejected == metrics.rejected);
+  RTDS_ASSERT(metrics.total_tasks == metrics.deadline_hits +
+                                         metrics.exec_misses +
+                                         metrics.culled + metrics.rejected);
   return metrics;
 }
 

@@ -30,6 +30,7 @@
 #include "common/time.h"
 #include "sched/algorithm.h"
 #include "sched/backend.h"
+#include "sched/ledger.h"
 #include "sched/quantum.h"
 #include "sched/trace.h"
 #include "tasks/task.h"
@@ -47,9 +48,24 @@ struct RunMetrics {
   std::uint64_t deadline_hits{0};    ///< executed and met deadline
   std::uint64_t exec_misses{0};      ///< executed but missed (theorem: 0)
   std::uint64_t culled{0};           ///< dropped from a batch, unreachable
-  /// Assignments refused by a full ready queue (bounded-mailbox backends;
-  /// always 0 on the DES backends). Counted loudly, never blocks the host.
+  /// Tasks retired explicitly after delivery was refused
+  /// `max_delivery_attempts` times (bounded-mailbox backends only).
+  std::uint64_t rejected{0};
+  /// Delivery refusals by a full ready queue (bounded-mailbox backends;
+  /// always 0 on the DES backends). An event counter: one task dropped and
+  /// readmitted n times contributes n. Counted loudly, never blocks the
+  /// host — refused tasks re-enter the next batch (see `readmissions`).
   std::uint64_t overflow_drops{0};
+  /// Tasks returned to the batch after a refused delivery (each readmission
+  /// of the same task counts once).
+  std::uint64_t readmissions{0};
+  /// Phases that ended in a backpressure pause because part of their
+  /// schedule was refused.
+  std::uint64_t backpressure_waits{0};
+  /// Phases where the progress floor (phase_overhead + vertex_cost) raised
+  /// Q_s above the policy allocation — such a quantum may exceed both
+  /// max_quantum and the paper's Q_s <= max(Min_Slack, Min_Load) bound.
+  std::uint64_t quantum_floor_overrides{0};
 
   std::uint64_t phases{0};
   std::uint64_t vertices_generated{0};
@@ -74,8 +90,11 @@ struct RunMetrics {
                ? 1.0
                : double(deadline_hits) / double(total_tasks);
   }
+  /// Tasks that did not hit their deadline. Under the conservation
+  /// invariant (total == hits + exec_misses + culled + rejected) this is
+  /// exactly total_tasks - deadline_hits.
   [[nodiscard]] std::uint64_t misses() const {
-    return exec_misses + culled + (total_tasks - scheduled - culled);
+    return exec_misses + culled + rejected;
   }
 };
 
@@ -94,6 +113,22 @@ struct PipelineConfig {
   /// correction theorem's bound t_e <= t_s + Q_s still holds. The threaded
   /// backend runs with zero overhead: its per-phase cost is real wall time.
   SimDuration phase_overhead{usec(50)};
+
+  /// How often the pipeline will offer the same task to a backend before
+  /// retiring it as `rejected`. Refused deliveries re-enter the next batch
+  /// (readmission) until this budget is spent. 0 means unbounded: the task
+  /// is readmitted until delivered or culled. 1 disables readmission
+  /// (every refused delivery is rejected immediately, as PR 1 effectively
+  /// behaved — except the loss is now explicit, not silent).
+  std::uint32_t max_delivery_attempts{8};
+
+  /// Minimum backpressure pause after a phase whose delivery was partially
+  /// refused: the host waits before rescheduling instead of burning
+  /// delivery attempts in a hot loop. The actual pause stretches to the
+  /// residual load of the least-loaded refused worker (when larger) and is
+  /// capped by the batch's min slack so waiting alone never makes a
+  /// pending task unreachable. Zero disables backpressure.
+  SimDuration delivery_backpressure{usec(200)};
 };
 
 /// Historic name from when this struct configured PhaseScheduler only.
@@ -106,12 +141,17 @@ class PhasePipeline {
   PhasePipeline(const PhaseAlgorithm& algorithm, const QuantumPolicy& quantum,
                 PipelineConfig config = {});
 
-  /// Runs the pipeline until every task has been executed or culled.
-  /// `workload` must be sorted by arrival time. The backend is left in its
-  /// final state so callers can inspect logs. An optional observer receives
-  /// one PhaseRecord per scheduling phase (it must outlive the call).
+  /// Runs the pipeline until every task has been executed, culled or
+  /// rejected. `workload` must be sorted by arrival time. The backend is
+  /// left in its final state so callers can inspect logs. An optional
+  /// observer receives one PhaseRecord per scheduling phase (it must
+  /// outlive the call). An optional ledger records every task's lifecycle
+  /// (a run always keeps one internally when none is supplied); the
+  /// conservation invariant total == hits + exec_misses + culled + rejected
+  /// is enforced at drain time either way.
   RunMetrics run(const std::vector<Task>& workload, ExecutionBackend& backend,
-                 PhaseObserver* observer = nullptr) const;
+                 PhaseObserver* observer = nullptr,
+                 TaskLedger* ledger = nullptr) const;
 
  private:
   const PhaseAlgorithm& algorithm_;

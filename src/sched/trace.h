@@ -30,9 +30,16 @@ struct PhaseRecord {
   SimDuration min_load{SimDuration::zero()};   ///< Min_Load (Fig. 3)
   SimDuration quantum{SimDuration::zero()};    ///< Q_s(j), after clamping
   std::uint64_t vertex_budget{0};
+  /// The progress floor (phase_overhead + vertex_cost) raised Q_s above the
+  /// policy allocation, possibly past the Fig. 3 bound.
+  bool quantum_floor_override{false};
 
   search::SearchStats search;
-  std::uint64_t scheduled{0};  ///< assignments delivered by this phase
+  std::uint64_t scheduled{0};   ///< assignments produced by the search
+  std::uint64_t delivered{0};   ///< assignments accepted by the backend
+  std::uint64_t overflow_drops{0};  ///< delivery refusals this phase
+  std::uint64_t readmitted{0};  ///< refused tasks returned to the batch
+  std::uint64_t rejected{0};    ///< refused tasks retired (attempts spent)
 };
 
 /// Callback interface; implementations must not throw.

@@ -6,21 +6,33 @@
 
 namespace rtds::tasks {
 
-void Batch::merge_arrivals(const std::vector<Task>& arrived) {
+std::size_t Batch::merge_arrivals(const std::vector<Task>& arrived) {
+  std::size_t merged = 0;
   for (const Task& t : arrived) {
-    const bool inserted = ids_.insert(t.id).second;
-    RTDS_REQUIRE(inserted, "Batch: duplicate task id merged");
-    tasks_.push_back(t);
+    if (readmit(t)) ++merged;
   }
+  return merged;
+}
+
+bool Batch::readmit(const Task& task) {
+  if (!ids_.insert(task.id).second) return false;  // already pending
+  tasks_.push_back(task);
+  return true;
 }
 
 void Batch::remove_scheduled(const std::unordered_set<TaskId>& scheduled_ids) {
   if (scheduled_ids.empty()) return;
+  // Erase from ids_ inside the predicate: after remove_if the tail range
+  // holds shifted-up copies of the KEPT elements, so reading removed ids
+  // from it would unregister the wrong tasks.
   auto removed = std::remove_if(tasks_.begin(), tasks_.end(),
                                 [&](const Task& t) {
-                                  return scheduled_ids.count(t.id) > 0;
+                                  if (scheduled_ids.count(t.id) == 0) {
+                                    return false;
+                                  }
+                                  ids_.erase(t.id);
+                                  return true;
                                 });
-  for (auto it = removed; it != tasks_.end(); ++it) ids_.erase(it->id);
   tasks_.erase(removed, tasks_.end());
 }
 

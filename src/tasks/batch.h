@@ -28,8 +28,16 @@ class Batch {
   [[nodiscard]] std::size_t size() const { return tasks_.size(); }
   [[nodiscard]] const std::vector<Task>& tasks() const { return tasks_; }
 
-  /// Appends newly arrived tasks. Duplicate ids are a caller bug.
-  void merge_arrivals(const std::vector<Task>& arrived);
+  /// Appends newly arrived tasks. An id already pending is skipped instead
+  /// of aborting the host — a readmitted task may race a same-id arrival.
+  /// Returns the number of tasks actually merged.
+  std::size_t merge_arrivals(const std::vector<Task>& arrived);
+
+  /// Returns a task to the batch after its delivery was refused (the
+  /// readmission path of the overload-robustness layer). No-op returning
+  /// false when the id is already pending — which is the common case, since
+  /// the pipeline only retires tasks the backend actually accepted.
+  bool readmit(const Task& task);
 
   /// Removes tasks that were scheduled in the phase that just ended.
   /// Ids not present are ignored (they may have been culled already).

@@ -74,6 +74,8 @@ TEST(BackendParityTest, SimAndThreadedAgreeOnScheduledAndCulled) {
   EXPECT_EQ(thr_m.scheduled, sim_m.scheduled);
   EXPECT_EQ(thr_m.culled, sim_m.culled);
   EXPECT_EQ(thr_m.overflow_drops, 0u);
+  EXPECT_EQ(thr_m.readmissions, 0u);
+  EXPECT_EQ(thr_m.rejected, 0u);
   // With two-minute deadlines both deployments also hit everything.
   EXPECT_EQ(sim_m.deadline_hits, wl.size());
   EXPECT_EQ(thr_m.deadline_hits, wl.size());
@@ -100,7 +102,11 @@ TEST(BackendParityTest, PartitionedSingleHostMatchesSimBackendExactly) {
   EXPECT_EQ(part_m.deadline_hits, sim_m.deadline_hits);
   EXPECT_EQ(part_m.exec_misses, sim_m.exec_misses);
   EXPECT_EQ(part_m.culled, sim_m.culled);
+  EXPECT_EQ(part_m.rejected, sim_m.rejected);
   EXPECT_EQ(part_m.overflow_drops, sim_m.overflow_drops);
+  EXPECT_EQ(part_m.readmissions, sim_m.readmissions);
+  EXPECT_EQ(part_m.backpressure_waits, sim_m.backpressure_waits);
+  EXPECT_EQ(part_m.quantum_floor_overrides, sim_m.quantum_floor_overrides);
   EXPECT_EQ(part_m.phases, sim_m.phases);
   EXPECT_EQ(part_m.vertices_generated, sim_m.vertices_generated);
   EXPECT_EQ(part_m.expansions, sim_m.expansions);

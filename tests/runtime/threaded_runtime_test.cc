@@ -138,10 +138,12 @@ TEST(ThreadedRuntimeTest, TimeScaleShrinksWallTime) {
   EXPECT_LT(r.finish_time - SimTime::zero(), sec(2));
 }
 
-TEST(ThreadedRuntimeTest, MailboxOverflowDropsLoudlyInsteadOfBlocking) {
+TEST(ThreadedRuntimeTest, MailboxOverflowIsRecoveredNotLost) {
   // One worker with a single-slot mailbox and a burst of 16 tasks: the
-  // host must NOT block behind the full mailbox — it drops the excess,
-  // counts every drop, and the run still terminates with balanced books.
+  // host must NOT block behind the full mailbox — refused deliveries are
+  // counted and readmitted, and with two-minute deadlines every task is
+  // eventually executed (or, if its delivery budget runs out, explicitly
+  // rejected). No task may simply vanish.
   const auto algo = sched::make_rt_sads();
   const auto q = sched::make_self_adjusting_quantum(usec(200), msec(10));
   std::vector<tasks::Task> wl;
@@ -156,10 +158,43 @@ TEST(ThreadedRuntimeTest, MailboxOverflowDropsLoudlyInsteadOfBlocking) {
   }
   RuntimeConfig cfg = fast_config(1);
   cfg.mailbox_capacity = 1;
+  cfg.max_delivery_attempts = 0;  // readmit until delivered or culled
   const RuntimeReport r = run_threaded(*algo, *q, cfg, wl);
   EXPECT_GT(r.overflow_drops, 0u);
+  EXPECT_GT(r.readmissions, 0u);
   EXPECT_EQ(r.deadline_hits + r.exec_misses, r.scheduled);
-  EXPECT_LE(r.scheduled + r.overflow_drops + r.culled, r.total_tasks);
+  // Conservation: every offered task reached a terminal state.
+  EXPECT_EQ(r.deadline_hits + r.exec_misses + r.culled + r.rejected,
+            r.total_tasks);
+  EXPECT_EQ(r.rejected, 0u);  // unbounded attempts: nothing force-retired
+  EXPECT_EQ(r.scheduled + r.culled, r.total_tasks);
+}
+
+TEST(ThreadedRuntimeTest, ExhaustedDeliveryBudgetRejectsExplicitly) {
+  // With readmission disabled (budget of one attempt), a refused delivery
+  // is retired as an explicit rejection — still never a silent loss.
+  const auto algo = sched::make_rt_sads();
+  const auto q = sched::make_self_adjusting_quantum(usec(200), msec(10));
+  std::vector<tasks::Task> wl;
+  for (std::uint32_t i = 0; i < 12; ++i) {
+    tasks::Task t;
+    t.id = i;
+    t.arrival = SimTime::zero();
+    t.processing = msec(5);
+    t.deadline = SimTime::zero() + sec(120);
+    t.affinity.add(0);
+    wl.push_back(t);
+  }
+  RuntimeConfig cfg = fast_config(1);
+  cfg.mailbox_capacity = 1;
+  cfg.max_delivery_attempts = 1;  // no readmission
+  cfg.delivery_retries = 0;       // and no in-backend backoff either
+  const RuntimeReport r = run_threaded(*algo, *q, cfg, wl);
+  EXPECT_GT(r.rejected, 0u);
+  EXPECT_EQ(r.readmissions, 0u);
+  EXPECT_EQ(r.overflow_drops, r.rejected);  // one refusal retires a task
+  EXPECT_EQ(r.deadline_hits + r.exec_misses + r.culled + r.rejected,
+            r.total_tasks);
 }
 
 }  // namespace

@@ -1,0 +1,98 @@
+#include "sched/ledger.h"
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+
+namespace rtds::sched {
+namespace {
+
+TEST(TaskLedgerTest, FullLifecycleToDeadlineHit) {
+  TaskLedger ledger;
+  ledger.arrive(1);
+  EXPECT_EQ(ledger.state(1), TaskState::kArrived);
+  ledger.admit(1);
+  ledger.schedule(1);
+  ledger.deliver(1);
+  ledger.execute(1, /*hit=*/true);
+  EXPECT_EQ(ledger.state(1), TaskState::kDeadlineHit);
+  EXPECT_TRUE(ledger.counts().conserved());
+  EXPECT_EQ(ledger.counts().deadline_hits, 1u);
+}
+
+TEST(TaskLedgerTest, DropReturnsTaskToBatchedForAnotherRound) {
+  TaskLedger ledger;
+  ledger.arrive(7);
+  ledger.admit(7);
+  ledger.schedule(7);
+  ledger.drop(7);  // delivery refused: readmitted
+  EXPECT_EQ(ledger.state(7), TaskState::kBatched);
+  ledger.schedule(7);
+  ledger.deliver(7);
+  ledger.execute(7, /*hit=*/false);
+  EXPECT_EQ(ledger.state(7), TaskState::kExecMiss);
+  EXPECT_TRUE(ledger.counts().conserved());
+  EXPECT_EQ(ledger.counts().exec_misses, 1u);
+}
+
+TEST(TaskLedgerTest, CullAndRejectAreTerminal) {
+  TaskLedger ledger;
+  ledger.arrive(1);
+  ledger.admit(1);
+  ledger.cull(1);
+  ledger.arrive(2);
+  ledger.admit(2);
+  ledger.schedule(2);
+  ledger.reject(2);
+  EXPECT_EQ(ledger.state(1), TaskState::kCulled);
+  EXPECT_EQ(ledger.state(2), TaskState::kRejected);
+  const LedgerCounts& c = ledger.counts();
+  EXPECT_TRUE(c.conserved());
+  EXPECT_EQ(c.culled, 1u);
+  EXPECT_EQ(c.rejected, 1u);
+  EXPECT_EQ(c.total, 2u);
+}
+
+TEST(TaskLedgerTest, IllegalTransitionsThrow) {
+  TaskLedger ledger;
+  ledger.arrive(1);
+  EXPECT_THROW(ledger.schedule(1), InvariantViolation);  // not batched yet
+  ledger.admit(1);
+  EXPECT_THROW(ledger.deliver(1), InvariantViolation);   // not scheduled
+  EXPECT_THROW(ledger.execute(1, true), InvariantViolation);
+  ledger.schedule(1);
+  ledger.deliver(1);
+  ledger.execute(1, true);
+  EXPECT_THROW(ledger.execute(1, true), InvariantViolation);  // double count
+  EXPECT_THROW(ledger.arrive(1), InvariantViolation);         // re-offered
+  EXPECT_THROW(ledger.admit(99), InvariantViolation);         // unknown id
+}
+
+TEST(TaskLedgerTest, ConservationCheckFlagsInFlightTasks) {
+  TaskLedger ledger;
+  ledger.arrive(1);
+  ledger.admit(1);
+  EXPECT_FALSE(ledger.counts().conserved());
+  EXPECT_EQ(ledger.counts().in_flight, 1u);
+  EXPECT_THROW(ledger.check_conserved(), InvariantViolation);
+  ledger.cull(1);
+  ledger.check_conserved();  // no throw
+}
+
+TEST(TaskLedgerTest, ClearResets) {
+  TaskLedger ledger;
+  ledger.arrive(1);
+  ledger.clear();
+  EXPECT_EQ(ledger.size(), 0u);
+  EXPECT_FALSE(ledger.known(1));
+  EXPECT_EQ(ledger.counts().total, 0u);
+  EXPECT_TRUE(ledger.counts().conserved());  // vacuously
+}
+
+TEST(TaskLedgerTest, StateNamesAreStable) {
+  EXPECT_STREQ(to_string(TaskState::kRejected), "rejected");
+  EXPECT_STREQ(to_string(TaskState::kDeadlineHit), "deadline_hit");
+}
+
+}  // namespace
+}  // namespace rtds::sched

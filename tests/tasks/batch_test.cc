@@ -34,11 +34,36 @@ TEST(BatchTest, MergePreservesOrder) {
   EXPECT_EQ(b.tasks()[2].id, 3u);
 }
 
-TEST(BatchTest, RejectsDuplicateIds) {
+TEST(BatchTest, MergeSkipsDuplicateIdsInsteadOfAborting) {
+  // A readmitted task racing a same-id arrival must not crash the host:
+  // the duplicate is skipped and the pending copy wins.
   Batch b;
-  b.merge_arrivals({make_task(1, msec(1), SimTime{100000})});
-  EXPECT_THROW(b.merge_arrivals({make_task(1, msec(1), SimTime{100000})}),
-               InvalidArgument);
+  EXPECT_EQ(b.merge_arrivals({make_task(1, msec(1), SimTime{100000})}), 1u);
+  EXPECT_EQ(b.merge_arrivals({make_task(1, msec(9), SimTime{100000})}), 0u);
+  ASSERT_EQ(b.size(), 1u);
+  EXPECT_EQ(b.tasks()[0].processing, msec(1));  // first copy kept
+}
+
+TEST(BatchTest, ReadmitInsertsOnlyWhenAbsent) {
+  Batch b;
+  const Task t = make_task(5, msec(2), SimTime{100000});
+  EXPECT_TRUE(b.readmit(t));    // not pending: inserted
+  EXPECT_FALSE(b.readmit(t));   // already pending: no-op
+  EXPECT_EQ(b.size(), 1u);
+  b.remove_scheduled({5});
+  EXPECT_TRUE(b.readmit(t));    // removed, so readmission re-inserts
+  EXPECT_EQ(b.size(), 1u);
+}
+
+TEST(BatchTest, ReadmittedTaskKeepsBatchOrder) {
+  Batch b;
+  b.merge_arrivals({make_task(1, msec(1), SimTime{100000}),
+                    make_task(2, msec(1), SimTime{100000})});
+  b.remove_scheduled({1});
+  EXPECT_TRUE(b.readmit(make_task(1, msec(1), SimTime{100000})));
+  ASSERT_EQ(b.size(), 2u);
+  EXPECT_EQ(b.tasks()[0].id, 2u);  // readmission appends
+  EXPECT_EQ(b.tasks()[1].id, 1u);
 }
 
 TEST(BatchTest, RemoveScheduledDropsOnlyListed) {
@@ -52,6 +77,22 @@ TEST(BatchTest, RemoveScheduledDropsOnlyListed) {
   // Unknown ids are ignored.
   b.remove_scheduled({42});
   EXPECT_EQ(b.size(), 1u);
+}
+
+TEST(BatchTest, RemoveScheduledUnregistersExactlyTheRemovedIds) {
+  // Regression: the id index used to be updated from the remove_if tail
+  // range, which holds shifted copies of the KEPT elements — so removing
+  // {1,3} from [1,2,3] unregistered 2 and 3 and left a ghost id 1 that
+  // blocked readmission forever.
+  Batch b;
+  b.merge_arrivals({make_task(1, msec(1), SimTime{100000}),
+                    make_task(2, msec(1), SimTime{100000}),
+                    make_task(3, msec(1), SimTime{100000})});
+  b.remove_scheduled({1, 3});
+  EXPECT_FALSE(b.readmit(make_task(2, msec(1), SimTime{100000})));  // pending
+  EXPECT_TRUE(b.readmit(make_task(1, msec(1), SimTime{100000})));
+  EXPECT_TRUE(b.readmit(make_task(3, msec(1), SimTime{100000})));
+  EXPECT_EQ(b.size(), 3u);
 }
 
 TEST(BatchTest, RemovedIdsCanReappearAsNewTasks) {
