@@ -56,7 +56,8 @@ double mean_hit(const exp::ExperimentConfig& cfg,
                 const sched::PhaseAlgorithm& algo) {
   RunningStats s;
   for (std::uint32_t i = 0; i < cfg.repetitions; ++i) {
-    s.add(run_with_net(cfg, net, algo, derive_seed(cfg.base_seed, i))
+    s.add(run_with_net(cfg, net, algo,
+                       bench::bench_seed(cfg.base_seed, "interconnect", i))
               .hit_ratio());
   }
   return s.mean() * 100.0;

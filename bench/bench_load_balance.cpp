@@ -40,7 +40,7 @@ int main() {
   for (const auto& factory :
        {sched::make_rt_sads, sched::make_d_cols, sched::make_edf_best_fit}) {
     const auto algo = factory();
-    Xoshiro256ss rng(derive_seed(cfg.base_seed, 0));
+    Xoshiro256ss rng(bench::bench_seed(cfg.base_seed, "load-balance", 0));
     const db::GlobalDatabase database(cfg.database, rng);
     const db::Placement placement = db::Placement::rotation(
         cfg.database.num_subdbs, cfg.num_workers, cfg.replication_rate);

@@ -38,7 +38,7 @@ double mean_hit(std::uint32_t shards, std::uint32_t workers,
     wc.affinity_degree = 0.2;
     wc.laxity_min = 8.0;
     wc.laxity_max = 15.0;
-    Xoshiro256ss rng(derive_seed(0x5AAD5, rep));
+    Xoshiro256ss rng(bench::bench_seed("multihost", rep));
     const auto wl = tasks::generate_workload(wc, rng);
 
     sched::PartitionedConfig cfg;

@@ -48,7 +48,7 @@ double mean_hit(const sched::PhaseAlgorithm& algo, double offered_load,
     wc.affinity_degree = 0.3;
     wc.laxity_min = 5.0;
     wc.laxity_max = 15.0;
-    Xoshiro256ss rng(derive_seed(0xEC0FEED, rep));
+    Xoshiro256ss rng(bench::bench_seed("offered-load", rep));
     const auto wl = tasks::generate_workload(wc, rng);
 
     sched::PipelineConfig dc;

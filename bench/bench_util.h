@@ -6,14 +6,31 @@
 // is used by the micro benches); each runs in seconds.
 #pragma once
 
+#include <cstdint>
 #include <iostream>
 #include <string>
 #include <vector>
 
+#include "common/rng.h"
 #include "exp/experiment.h"
 #include "exp/table.h"
 
 namespace rtds::bench {
+
+/// Workload seed for repetition `rep` of the named bench: a named rng
+/// substream off `base` (common/rng.h). All benches derive their seeds
+/// here — one convention instead of per-bench magic base-seed constants —
+/// and distinct names guarantee distinct streams even off the same base.
+inline std::uint64_t bench_seed(std::uint64_t base, const char* bench_name,
+                                std::uint64_t rep) {
+  return derive_seed(base, stream_id(bench_name), rep);
+}
+
+/// bench_seed() off the shared experiment default base seed, for benches
+/// that take no ExperimentConfig.
+inline std::uint64_t bench_seed(const char* bench_name, std::uint64_t rep) {
+  return bench_seed(exp::ExperimentConfig{}.base_seed, bench_name, rep);
+}
 
 /// One algorithm column of a figure: a display name plus its aggregate.
 struct Series {

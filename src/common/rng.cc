@@ -78,4 +78,15 @@ std::uint64_t derive_seed(std::uint64_t base_seed, std::uint64_t run_index) {
   return sm.next();
 }
 
+std::uint64_t derive_seed(std::uint64_t base_seed, std::uint64_t stream,
+                          std::uint64_t run_index) {
+  // Chain two SplitMix64 expansions: first isolate the stream, then the
+  // run index within it. Keeping the two-argument overload as the inner
+  // step preserves the historic (base, index) seeds for stream 0 consumers
+  // such as exp::run_repeated (the figure numbers are pinned by tests).
+  SplitMix64 sm(base_seed ^ stream);
+  const std::uint64_t stream_base = stream == 0 ? base_seed : sm.next();
+  return derive_seed(stream_base, run_index);
+}
+
 }  // namespace rtds

@@ -115,4 +115,25 @@ class Xoshiro256ss {
 /// run independent but reproducible.
 std::uint64_t derive_seed(std::uint64_t base_seed, std::uint64_t run_index);
 
+/// FNV-1a hash of a short name — the canonical way to pick the `stream`
+/// argument of the three-argument derive_seed below. Constexpr so stream
+/// ids can live in headers as compile-time constants.
+constexpr std::uint64_t stream_id(const char* name) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (const char* p = name; *p != '\0'; ++p) {
+    h ^= static_cast<std::uint64_t>(static_cast<unsigned char>(*p));
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+/// Named-substream seed derivation: one base seed fans out into mutually
+/// independent (stream, index) substreams. This is THE seed-derivation
+/// helper for every consumer that needs more than the paper's flat
+/// 10-repetition protocol — benches, the fuzz subsystem and experiments all
+/// derive from here instead of inventing per-binary magic base constants,
+/// so two consumers can never collide on the same xoshiro stream.
+std::uint64_t derive_seed(std::uint64_t base_seed, std::uint64_t stream,
+                          std::uint64_t run_index);
+
 }  // namespace rtds

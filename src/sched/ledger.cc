@@ -33,14 +33,17 @@ void TaskLedger::admit(tasks::TaskId id) {
 
 void TaskLedger::schedule(tasks::TaskId id) {
   transition(id, TaskState::kBatched, TaskState::kScheduled);
+  ++counts_.schedule_events;
 }
 
 void TaskLedger::deliver(tasks::TaskId id) {
   transition(id, TaskState::kScheduled, TaskState::kDelivered);
+  ++counts_.delivery_events;
 }
 
 void TaskLedger::drop(tasks::TaskId id) {
   transition(id, TaskState::kScheduled, TaskState::kBatched);
+  ++counts_.drop_events;
 }
 
 void TaskLedger::cull(tasks::TaskId id) {

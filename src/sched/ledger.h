@@ -58,6 +58,16 @@ struct LedgerCounts {
   std::uint64_t rejected{0};
   std::uint64_t in_flight{0};  ///< tasks not yet in a terminal state
 
+  // Transition event counters (a task can contribute several). They exist
+  // for external oracles (src/testing) to cross-check the pipeline's
+  // aggregate metrics against the per-task lifecycle:
+  //   schedule_events == delivery_events + drop_events + rejected
+  //   delivery_events == RunMetrics::scheduled
+  //   drop_events     == RunMetrics::readmissions
+  std::uint64_t schedule_events{0};  ///< batched → scheduled transitions
+  std::uint64_t delivery_events{0};  ///< scheduled → delivered transitions
+  std::uint64_t drop_events{0};      ///< scheduled → batched (readmissions)
+
   /// Every offered task reached exactly one terminal state.
   [[nodiscard]] bool conserved() const {
     return in_flight == 0 &&

@@ -75,7 +75,8 @@ std::uint32_t route_shard(const tasks::Task& task, std::uint32_t num_shards,
 PartitionedMetrics run_partitioned(const PhaseAlgorithm& algorithm,
                                    const QuantumPolicy& quantum,
                                    const PartitionedConfig& config,
-                                   const std::vector<tasks::Task>& workload) {
+                                   const std::vector<tasks::Task>& workload,
+                                   PhaseObserver* observer) {
   RTDS_REQUIRE(config.num_shards >= 1, "run_partitioned: need >= 1 shard");
   RTDS_REQUIRE(config.total_workers >= config.num_shards,
                "run_partitioned: fewer workers than shards");
@@ -119,7 +120,8 @@ PartitionedMetrics run_partitioned(const PhaseAlgorithm& algorithm,
   PartitionedBackend backend(config.num_shards, per_shard, config.comm_cost,
                              config.reclaim);
   for (std::uint32_t s = 0; s < config.num_shards; ++s) {
-    out.shards.push_back(pipeline.run(shard_workloads[s], backend.host(s)));
+    out.shards.push_back(
+        pipeline.run(shard_workloads[s], backend.host(s), observer));
   }
   return out;
 }

@@ -60,11 +60,14 @@ struct PartitionedMetrics {
 /// per shard against a PartitionedBackend host (sched/backend.h). Workers
 /// [s * (total/H), (s+1) * (total/H)) belong to shard s; requires
 /// total_workers % num_shards == 0. The algorithm and quantum policy are
-/// shared (they are stateless between phases).
+/// shared (they are stateless between phases). An optional observer sees
+/// every shard's phases (shards run sequentially, in shard order) — the
+/// fuzz oracles use it to audit Q_s against the Fig. 3 bound per shard.
 PartitionedMetrics run_partitioned(const PhaseAlgorithm& algorithm,
                                    const QuantumPolicy& quantum,
                                    const PartitionedConfig& config,
-                                   const std::vector<tasks::Task>& workload);
+                                   const std::vector<tasks::Task>& workload,
+                                   PhaseObserver* observer = nullptr);
 
 /// Exposed for tests: shard choice for one task under the routing rule.
 std::uint32_t route_shard(const tasks::Task& task, std::uint32_t num_shards,

@@ -1,0 +1,207 @@
+#include "testing/oracles.h"
+
+#include <sstream>
+
+namespace rtds::testing {
+namespace {
+
+void violation(std::vector<std::string>& out, const std::string& oracle,
+               const std::string& backend, const std::string& detail) {
+  out.push_back(oracle + "(" + backend + "): " + detail);
+}
+
+template <typename T>
+void expect_eq(std::vector<std::string>& out, const std::string& oracle,
+               const std::string& backend, const char* what, T actual,
+               T expected) {
+  if (actual == expected) return;
+  std::ostringstream os;
+  os << what << " = " << actual << ", expected " << expected;
+  violation(out, oracle, backend, os.str());
+}
+
+}  // namespace
+
+const std::vector<std::string>& oracle_names() {
+  static const std::vector<std::string> names = {
+      "correction-theorem", "conservation",  "schedule-validity",
+      "quantum-bound",      "metric-parity", "threaded-parity",
+  };
+  return names;
+}
+
+void oracle_correction_theorem(const BackendRun& run,
+                               std::vector<std::string>& out) {
+  if (run.metrics.exec_misses != 0) {
+    std::ostringstream os;
+    os << run.metrics.exec_misses << " task(s) missed their deadline DURING "
+       << "execution — a committed schedule must never miss (Sec. 4.3)";
+    violation(out, "correction-theorem", run.name, os.str());
+  }
+  if (run.has_ledger && run.ledger.exec_misses != 0) {
+    std::ostringstream os;
+    os << "ledger records " << run.ledger.exec_misses << " exec misses";
+    violation(out, "correction-theorem", run.name, os.str());
+  }
+}
+
+void oracle_conservation(const BackendRun& run,
+                         std::vector<std::string>& out) {
+  const sched::RunMetrics& m = run.metrics;
+  const char* oracle = "conservation";
+  expect_eq(out, oracle, run.name, "hits + exec_misses + culled + rejected",
+            m.deadline_hits + m.exec_misses + m.culled + m.rejected,
+            m.total_tasks);
+  expect_eq(out, oracle, run.name, "deadline_hits + exec_misses",
+            m.deadline_hits + m.exec_misses, m.scheduled);
+  if (!run.has_ledger) return;
+  const sched::LedgerCounts& l = run.ledger;
+  if (!l.conserved()) {
+    std::ostringstream os;
+    os << "ledger not conserved: total " << l.total << " hits "
+       << l.deadline_hits << " exec_misses " << l.exec_misses << " culled "
+       << l.culled << " rejected " << l.rejected << " in_flight "
+       << l.in_flight;
+    violation(out, oracle, run.name, os.str());
+  }
+  expect_eq(out, oracle, run.name, "ledger total", l.total, m.total_tasks);
+  expect_eq(out, oracle, run.name, "ledger hits", l.deadline_hits,
+            m.deadline_hits);
+  expect_eq(out, oracle, run.name, "ledger exec_misses", l.exec_misses,
+            m.exec_misses);
+  expect_eq(out, oracle, run.name, "ledger culled", l.culled, m.culled);
+  expect_eq(out, oracle, run.name, "ledger rejected", l.rejected, m.rejected);
+  // Transition-event cross-checks: every schedule() either delivered,
+  // dropped (readmission) or rejected — and the pipeline's aggregate
+  // counters must agree with the per-task lifecycle event counts.
+  expect_eq(out, oracle, run.name, "ledger delivery_events",
+            l.delivery_events, m.scheduled);
+  expect_eq(out, oracle, run.name, "ledger drop_events", l.drop_events,
+            m.readmissions);
+  expect_eq(out, oracle, run.name,
+            "delivery_events + drop_events + rejected",
+            l.delivery_events + l.drop_events + l.rejected,
+            l.schedule_events);
+}
+
+void oracle_schedule_validity(const std::string& name,
+                              const machine::Cluster& cluster,
+                              const std::vector<tasks::Task>& workload,
+                              std::vector<std::string>& out) {
+  const machine::ValidationReport report =
+      machine::validate_execution(cluster, workload);
+  for (const std::string& v : report.violations) {
+    violation(out, "schedule-validity", name, v);
+  }
+}
+
+void oracle_quantum_bound(const Scenario& scenario, const BackendRun& run,
+                          std::vector<std::string>& out) {
+  if (!run.has_phases) return;
+  const char* oracle = "quantum-bound";
+  const SimDuration floor =
+      SimDuration{scenario.phase_overhead_us + scenario.vertex_cost_us};
+  std::uint64_t overrides_seen = 0;
+  for (const sched::PhaseRecord& r : run.phases) {
+    if (r.quantum_floor_override) {
+      ++overrides_seen;
+      // The floor is applied verbatim, never padded.
+      if (r.quantum != floor) {
+        std::ostringstream os;
+        os << "phase " << r.index << ": override quantum "
+           << to_string(r.quantum) << " != progress floor "
+           << to_string(floor);
+        violation(out, oracle, run.name, os.str());
+      }
+      continue;
+    }
+    const SimDuration expected =
+        scenario.quantum_kind == 1
+            ? SimDuration{scenario.fixed_quantum_us}
+            : clamp_duration(max_duration(r.min_slack, r.min_load),
+                             SimDuration{scenario.min_quantum_us},
+                             SimDuration{scenario.max_quantum_us});
+    if (r.quantum != expected) {
+      std::ostringstream os;
+      os << "phase " << r.index << ": Q_s " << to_string(r.quantum)
+         << " != policy allocation " << to_string(expected) << " (Min_Slack "
+         << to_string(r.min_slack) << ", Min_Load " << to_string(r.min_load)
+         << ")";
+      violation(out, oracle, run.name, os.str());
+    }
+    // The paper's bound (Fig. 3): Q_s(j) <= max(Min_Slack, Min_Load),
+    // binding whenever the bound itself is above the minimum-progress
+    // clamp.
+    const SimDuration bound = max_duration(r.min_slack, r.min_load);
+    if (scenario.quantum_kind == 0 &&
+        bound >= SimDuration{scenario.min_quantum_us} && r.quantum > bound) {
+      std::ostringstream os;
+      os << "phase " << r.index << ": Q_s " << to_string(r.quantum)
+         << " exceeds max(Min_Slack, Min_Load) = " << to_string(bound);
+      violation(out, oracle, run.name, os.str());
+    }
+  }
+  expect_eq(out, oracle, run.name, "quantum_floor_overrides",
+            run.metrics.quantum_floor_overrides, overrides_seen);
+  expect_eq(out, oracle, run.name, "phases", run.metrics.phases,
+            std::uint64_t(run.phases.size()));
+}
+
+void oracle_metric_parity(const BackendRun& a, const BackendRun& b,
+                          std::vector<std::string>& out) {
+  const std::string pair = a.name + " vs " + b.name;
+  const sched::RunMetrics& x = a.metrics;
+  const sched::RunMetrics& y = b.metrics;
+  const char* oracle = "metric-parity";
+  expect_eq(out, oracle, pair, "total_tasks", x.total_tasks, y.total_tasks);
+  expect_eq(out, oracle, pair, "scheduled", x.scheduled, y.scheduled);
+  expect_eq(out, oracle, pair, "deadline_hits", x.deadline_hits,
+            y.deadline_hits);
+  expect_eq(out, oracle, pair, "exec_misses", x.exec_misses, y.exec_misses);
+  expect_eq(out, oracle, pair, "culled", x.culled, y.culled);
+  expect_eq(out, oracle, pair, "rejected", x.rejected, y.rejected);
+  expect_eq(out, oracle, pair, "overflow_drops", x.overflow_drops,
+            y.overflow_drops);
+  expect_eq(out, oracle, pair, "readmissions", x.readmissions,
+            y.readmissions);
+  expect_eq(out, oracle, pair, "backpressure_waits", x.backpressure_waits,
+            y.backpressure_waits);
+  expect_eq(out, oracle, pair, "quantum_floor_overrides",
+            x.quantum_floor_overrides, y.quantum_floor_overrides);
+  expect_eq(out, oracle, pair, "phases", x.phases, y.phases);
+  expect_eq(out, oracle, pair, "vertices_generated", x.vertices_generated,
+            y.vertices_generated);
+  expect_eq(out, oracle, pair, "expansions", x.expansions, y.expansions);
+  expect_eq(out, oracle, pair, "backtracks", x.backtracks, y.backtracks);
+  expect_eq(out, oracle, pair, "dead_ends", x.dead_ends, y.dead_ends);
+  expect_eq(out, oracle, pair, "leaves", x.leaves, y.leaves);
+  expect_eq(out, oracle, pair, "budget_exhaustions", x.budget_exhaustions,
+            y.budget_exhaustions);
+  expect_eq(out, oracle, pair, "finish_time.us", x.finish_time.us,
+            y.finish_time.us);
+  expect_eq(out, oracle, pair, "scheduling_time.us", x.scheduling_time.us,
+            y.scheduling_time.us);
+  expect_eq(out, oracle, pair, "allocated_quantum.us", x.allocated_quantum.us,
+            y.allocated_quantum.us);
+  expect_eq(out, oracle, pair, "min_quantum_seen.us", x.min_quantum_seen.us,
+            y.min_quantum_seen.us);
+  expect_eq(out, oracle, pair, "max_quantum_seen.us", x.max_quantum_seen.us,
+            y.max_quantum_seen.us);
+}
+
+void oracle_threaded_parity(const BackendRun& sim, const BackendRun& threaded,
+                            std::vector<std::string>& out) {
+  const char* oracle = "threaded-parity";
+  expect_eq(out, oracle, threaded.name, "scheduled",
+            threaded.metrics.scheduled, sim.metrics.scheduled);
+  expect_eq(out, oracle, threaded.name, "culled", threaded.metrics.culled,
+            sim.metrics.culled);
+  expect_eq(out, oracle, threaded.name, "deadline_hits",
+            threaded.metrics.deadline_hits, sim.metrics.deadline_hits);
+  expect_eq(out, oracle, threaded.name, "overflow_drops",
+            threaded.metrics.overflow_drops, std::uint64_t{0});
+  expect_eq(out, oracle, threaded.name, "rejected", threaded.metrics.rejected,
+            std::uint64_t{0});
+}
+
+}  // namespace rtds::testing

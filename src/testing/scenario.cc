@@ -1,0 +1,275 @@
+#include "testing/scenario.h"
+
+#include <charconv>
+#include <sstream>
+
+#include "common/error.h"
+
+namespace rtds::testing {
+namespace {
+
+constexpr char kTokenPrefix[] = "rtds1";
+constexpr std::uint64_t kWorkloadStream = stream_id("fuzz.workload");
+constexpr std::uint64_t kScenarioStream = stream_id("fuzz.scenario");
+
+/// Visits every Scenario field in the fixed token order. Adding a field
+/// means bumping kTokenPrefix — old tokens must not silently decode into a
+/// differently-shaped scenario.
+template <typename S, typename F>
+void visit_fields(S& s, F&& f) {
+  f(s.seed);
+  f(s.workers);
+  f(s.num_shards);
+  f(s.comm_cost_us);
+  f(s.reclaim);
+  f(s.num_tasks);
+  f(s.arrival_kind);
+  f(s.mean_interarrival_us);
+  f(s.burst_size);
+  f(s.burst_interval_us);
+  f(s.processing_min_us);
+  f(s.processing_max_us);
+  f(s.affinity_permille);
+  f(s.laxity_min_centi);
+  f(s.laxity_max_centi);
+  f(s.max_start_offset_us);
+  f(s.actual_fraction_min_permille);
+  f(s.actual_fraction_max_permille);
+  f(s.vertex_cost_us);
+  f(s.phase_overhead_us);
+  f(s.max_delivery_attempts);
+  f(s.backpressure_us);
+  f(s.quantum_kind);
+  f(s.min_quantum_us);
+  f(s.max_quantum_us);
+  f(s.fixed_quantum_us);
+  f(s.algorithm);
+  f(s.refusal_period);
+  f(s.mailbox_capacity);
+  f(s.delivery_retries);
+  f(s.run_threaded);
+  f(s.parity_class);
+}
+
+std::uint64_t fnv1a(const std::string& payload) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (const char c : payload) {
+    h ^= static_cast<std::uint64_t>(static_cast<unsigned char>(c));
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+}  // namespace
+
+tasks::WorkloadConfig Scenario::workload_config() const {
+  tasks::WorkloadConfig wc;
+  wc.num_tasks = num_tasks;
+  wc.num_processors = workers;
+  switch (arrival_kind) {
+    case kArrivalPoisson:
+      wc.arrival = tasks::ArrivalPattern::kPoisson;
+      break;
+    case kArrivalPeriodicBurst:
+      wc.arrival = tasks::ArrivalPattern::kPeriodicBurst;
+      break;
+    default:
+      wc.arrival = tasks::ArrivalPattern::kBursty;
+      break;
+  }
+  wc.mean_interarrival = SimDuration{mean_interarrival_us};
+  wc.burst_size = burst_size;
+  wc.burst_interval = SimDuration{burst_interval_us};
+  wc.processing_min = SimDuration{processing_min_us};
+  wc.processing_max = SimDuration{processing_max_us};
+  wc.affinity_degree = double(affinity_permille) / 1000.0;
+  wc.laxity_min = double(laxity_min_centi) / 100.0;
+  wc.laxity_max = double(laxity_max_centi) / 100.0;
+  wc.max_start_offset = SimDuration{max_start_offset_us};
+  wc.actual_fraction_min = double(actual_fraction_min_permille) / 1000.0;
+  wc.actual_fraction_max = double(actual_fraction_max_permille) / 1000.0;
+  return wc;
+}
+
+std::vector<tasks::Task> make_workload(const Scenario& scenario) {
+  Xoshiro256ss rng(derive_seed(scenario.seed, kWorkloadStream, 0));
+  return tasks::generate_workload(scenario.workload_config(), rng);
+}
+
+Scenario generate_scenario(std::uint64_t base_seed, std::uint64_t index) {
+  Xoshiro256ss rng(derive_seed(base_seed, kScenarioStream, index));
+  Scenario s;
+  s.seed = rng.next();
+
+  // -- machine ---------------------------------------------------------------
+  s.workers = static_cast<std::uint32_t>(rng.uniform_int(1, 8));
+  std::vector<std::uint32_t> divisors;
+  for (std::uint32_t d = 1; d <= s.workers; ++d) {
+    if (s.workers % d == 0) divisors.push_back(d);
+  }
+  s.num_shards = rng.bernoulli(0.6) ? 1 : divisors[size_t(rng.uniform_int(
+                                              0, int64_t(divisors.size()) - 1))];
+  static constexpr std::int64_t kCommChoices[] = {0, 500, 1000, 2000, 5000};
+  s.comm_cost_us = kCommChoices[rng.uniform_int(0, 4)];
+  s.reclaim = rng.bernoulli(0.25) ? 1 : 0;
+
+  // -- workload --------------------------------------------------------------
+  s.num_tasks = rng.bernoulli(0.02)
+                    ? 0
+                    : static_cast<std::uint32_t>(rng.uniform_int(1, 160));
+  const double arrival_roll = rng.uniform_double();
+  s.arrival_kind = arrival_roll < 0.4    ? kArrivalBursty
+                   : arrival_roll < 0.8  ? kArrivalPoisson
+                                         : kArrivalPeriodicBurst;
+  s.mean_interarrival_us = rng.uniform_int(50, 500);
+  s.burst_size = static_cast<std::uint32_t>(rng.uniform_int(4, 16));
+  s.burst_interval_us = rng.uniform_int(1000, 5000);
+  s.processing_min_us = rng.uniform_int(100, 1000);
+  s.processing_max_us = rng.uniform_int(s.processing_min_us, 3000);
+  s.affinity_permille = static_cast<std::uint32_t>(rng.uniform_int(100, 1000));
+  // SF sweep: laxity from 0.5 (instantly unreachable — cull path) to 40.
+  s.laxity_min_centi = static_cast<std::uint32_t>(rng.uniform_int(50, 2000));
+  s.laxity_max_centi = static_cast<std::uint32_t>(
+      rng.uniform_int(s.laxity_min_centi, s.laxity_min_centi + 2000));
+  s.max_start_offset_us = rng.bernoulli(0.7) ? 0 : rng.uniform_int(0, 2000);
+  if (s.reclaim == 1) {
+    s.actual_fraction_min_permille =
+        static_cast<std::uint32_t>(rng.uniform_int(300, 1000));
+    s.actual_fraction_max_permille = static_cast<std::uint32_t>(
+        rng.uniform_int(s.actual_fraction_min_permille, 1000));
+  }
+
+  // -- pipeline --------------------------------------------------------------
+  static constexpr std::int64_t kVertexChoices[] = {2, 5, 10};
+  static constexpr std::int64_t kOverheadChoices[] = {0, 20, 50, 100};
+  static constexpr std::uint32_t kAttemptChoices[] = {0, 1, 2, 8};
+  static constexpr std::int64_t kBackpressureChoices[] = {0, 100, 200, 1000};
+  s.vertex_cost_us = kVertexChoices[rng.uniform_int(0, 2)];
+  s.phase_overhead_us = kOverheadChoices[rng.uniform_int(0, 3)];
+  s.max_delivery_attempts = kAttemptChoices[rng.uniform_int(0, 3)];
+  s.backpressure_us = kBackpressureChoices[rng.uniform_int(0, 3)];
+
+  // -- quantum ---------------------------------------------------------------
+  s.quantum_kind = rng.bernoulli(0.15) ? 1 : 0;
+  s.min_quantum_us = rng.uniform_int(100, 500);
+  s.max_quantum_us = rng.uniform_int(2000, 20000);
+  s.fixed_quantum_us = rng.uniform_int(200, 20000);
+
+  // -- algorithm -------------------------------------------------------------
+  s.algorithm = rng.bernoulli(0.3) ? kAlgoDCols : kAlgoRtSads;
+
+  // -- fault injection -------------------------------------------------------
+  s.refusal_period = rng.bernoulli(0.7)
+                         ? 0
+                         : static_cast<std::uint32_t>(rng.uniform_int(2, 5));
+  static constexpr std::uint32_t kMailboxChoices[] = {1, 2, 4, 16, 1024};
+  s.mailbox_capacity = kMailboxChoices[rng.uniform_int(0, 4)];
+  static constexpr std::uint32_t kRetryChoices[] = {0, 1, 3};
+  s.delivery_retries = kRetryChoices[rng.uniform_int(0, 2)];
+  s.run_threaded = 1;
+
+  // -- parity class ----------------------------------------------------------
+  // A slice of the sweep is constructed so the threaded backend MUST agree
+  // with the DES on scheduled/culled/hit counts: one bursty batch at t=0,
+  // deadlines minutes beyond any wall-clock jitter, no injected faults, no
+  // start-time offsets (the threaded workers do not model them), mailboxes
+  // far deeper than the workload.
+  s.parity_class = rng.bernoulli(0.15) ? 1 : 0;
+  if (s.parity_class == 1) {
+    s.arrival_kind = kArrivalBursty;
+    s.num_tasks = s.num_tasks == 0
+                      ? 0
+                      : static_cast<std::uint32_t>(rng.uniform_int(1, 40));
+    s.workers = static_cast<std::uint32_t>(rng.uniform_int(1, 4));
+    s.num_shards = 1;
+    s.laxity_min_centi =
+        static_cast<std::uint32_t>(rng.uniform_int(5'000'000, 10'000'000));
+    s.laxity_max_centi = s.laxity_min_centi;
+    s.max_start_offset_us = 0;
+    s.reclaim = 0;
+    s.actual_fraction_min_permille = 1000;
+    s.actual_fraction_max_permille = 1000;
+    s.refusal_period = 0;
+    s.mailbox_capacity = 1024;
+    s.delivery_retries = 3;
+  }
+  return s;
+}
+
+std::string encode_token(const Scenario& scenario) {
+  std::ostringstream os;
+  visit_fields(scenario, [&os](const auto& field) {
+    os << '.' << static_cast<std::uint64_t>(field);
+  });
+  const std::string payload = os.str();
+  std::ostringstream token;
+  token << kTokenPrefix << payload << ".c" << std::hex
+        << (fnv1a(payload) & 0xffffffffULL);
+  return token.str();
+}
+
+std::optional<Scenario> decode_token(const std::string& token) {
+  const std::string prefix = std::string(kTokenPrefix) + ".";
+  if (token.rfind(prefix, 0) != 0) return std::nullopt;
+  const std::size_t checksum_at = token.rfind(".c");
+  if (checksum_at == std::string::npos || checksum_at < prefix.size() - 1) {
+    return std::nullopt;
+  }
+  const std::string payload =
+      token.substr(sizeof(kTokenPrefix) - 1,
+                   checksum_at - (sizeof(kTokenPrefix) - 1));
+  std::uint64_t checksum = 0;
+  {
+    const char* begin = token.data() + checksum_at + 2;
+    const char* end = token.data() + token.size();
+    const auto [ptr, ec] = std::from_chars(begin, end, checksum, 16);
+    if (ec != std::errc{} || ptr != end) return std::nullopt;
+  }
+  if ((fnv1a(payload) & 0xffffffffULL) != checksum) return std::nullopt;
+
+  Scenario s;
+  std::size_t pos = 0;
+  bool ok = true;
+  visit_fields(s, [&](auto& field) {
+    if (!ok) return;
+    if (pos >= payload.size() || payload[pos] != '.') {
+      ok = false;
+      return;
+    }
+    ++pos;
+    std::uint64_t value = 0;
+    const char* begin = payload.data() + pos;
+    const char* end = payload.data() + payload.size();
+    const auto [ptr, ec] = std::from_chars(begin, end, value);
+    if (ec != std::errc{} || ptr == begin) {
+      ok = false;
+      return;
+    }
+    pos = static_cast<std::size_t>(ptr - payload.data());
+    field = static_cast<std::remove_reference_t<decltype(field)>>(value);
+  });
+  if (!ok || pos != payload.size()) return std::nullopt;
+  return s;
+}
+
+std::string Scenario::to_string() const {
+  std::ostringstream os;
+  os << "scenario{seed=" << seed << " workers=" << workers
+     << " shards=" << num_shards << " tasks=" << num_tasks << " arrival="
+     << (arrival_kind == kArrivalBursty
+             ? "bursty"
+             : arrival_kind == kArrivalPoisson ? "poisson" : "periodic")
+     << " laxity=[" << laxity_min_centi / 100.0 << ","
+     << laxity_max_centi / 100.0 << "]"
+     << " proc=[" << processing_min_us << "," << processing_max_us << "]us"
+     << " comm=" << comm_cost_us << "us"
+     << " algo=" << (algorithm == kAlgoDCols ? "d-cols" : "rt-sads")
+     << " quantum=" << (quantum_kind == 1 ? "fixed" : "self-adjusting")
+     << " attempts=" << max_delivery_attempts
+     << " refuse_every=" << refusal_period << " mailbox=" << mailbox_capacity
+     << (reclaim == 1 ? " reclaim" : "")
+     << (parity_class == 1 ? " parity" : "") << "}";
+  return os.str();
+}
+
+}  // namespace rtds::testing

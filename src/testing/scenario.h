@@ -1,0 +1,121 @@
+// Fuzz scenarios: the seed-driven input domain of the stress subsystem.
+//
+// A Scenario is the COMPLETE description of one adversarial run — workload
+// shape (count, arrival burstiness, processing spread, affinity, laxity/SF,
+// start-time offsets, reclaimable slack), machine shape (workers, shards,
+// interconnect cost), pipeline knobs (vertex cost, phase overhead, delivery
+// budget, backpressure), quantum policy, algorithm under test, and the
+// fault-injection dials (deterministic delivery refusal, tiny threaded
+// mailboxes). Every field is an integer so a scenario serializes exactly:
+// encode_token() emits a one-line replay token and decode_token() restores
+// the scenario bit-for-bit, which is what makes any CI fuzz failure
+// reproducible with `rtds_fuzz --replay <token>`.
+//
+// generate_scenario(base_seed, index) draws a scenario from the fuzz
+// distribution — deterministic in (base_seed, index) via the common/rng
+// substream helpers, so the CI sweep is itself a pure function of one seed.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "tasks/task.h"
+#include "tasks/workload.h"
+
+namespace rtds::testing {
+
+/// Arrival pattern codes (mirrors tasks::ArrivalPattern; integral so the
+/// replay token stays a flat list of numbers).
+enum : std::uint32_t {
+  kArrivalBursty = 0,
+  kArrivalPoisson = 1,
+  kArrivalPeriodicBurst = 2,
+};
+
+/// Algorithm under test.
+enum : std::uint32_t {
+  kAlgoRtSads = 0,
+  kAlgoDCols = 1,
+};
+
+/// One complete fuzz case. Defaults form a small valid scenario; the
+/// generator overwrites every field. Durations in integer microseconds,
+/// ratios in permille / centi so the token encoding is exact.
+struct Scenario {
+  std::uint64_t seed{1};  ///< workload randomness (independent substream)
+
+  // -- machine ---------------------------------------------------------------
+  std::uint32_t workers{4};
+  std::uint32_t num_shards{1};  ///< divides workers; >1 adds a sharded run
+  std::int64_t comm_cost_us{2000};
+  std::uint32_t reclaim{0};  ///< 1 = ReclaimMode::kReclaim
+
+  // -- workload --------------------------------------------------------------
+  std::uint32_t num_tasks{80};
+  std::uint32_t arrival_kind{kArrivalBursty};
+  std::int64_t mean_interarrival_us{300};
+  std::uint32_t burst_size{8};
+  std::int64_t burst_interval_us{5000};
+  std::int64_t processing_min_us{200};
+  std::int64_t processing_max_us{2000};
+  std::uint32_t affinity_permille{500};
+  std::uint32_t laxity_min_centi{300};  ///< laxity = centi / 100 (SF sweeps)
+  std::uint32_t laxity_max_centi{800};
+  std::int64_t max_start_offset_us{0};
+  std::uint32_t actual_fraction_min_permille{1000};
+  std::uint32_t actual_fraction_max_permille{1000};
+
+  // -- pipeline --------------------------------------------------------------
+  std::int64_t vertex_cost_us{10};
+  std::int64_t phase_overhead_us{50};
+  std::uint32_t max_delivery_attempts{8};
+  std::int64_t backpressure_us{200};
+
+  // -- quantum policy --------------------------------------------------------
+  std::uint32_t quantum_kind{0};  ///< 0 self-adjusting, 1 fixed
+  std::int64_t min_quantum_us{200};
+  std::int64_t max_quantum_us{10000};
+  std::int64_t fixed_quantum_us{2000};
+
+  // -- algorithm -------------------------------------------------------------
+  std::uint32_t algorithm{kAlgoRtSads};
+
+  // -- fault injection -------------------------------------------------------
+  /// Deterministically refuse every Nth delivered assignment (0 = off).
+  /// Works on every backend via FaultInjectingBackend, so the readmission /
+  /// rejection / backpressure machinery is exercised even on the DES.
+  std::uint32_t refusal_period{0};
+  std::uint32_t mailbox_capacity{64};  ///< threaded ready-queue depth
+  std::uint32_t delivery_retries{1};   ///< threaded push retries when full
+
+  // -- harness shape ---------------------------------------------------------
+  std::uint32_t run_threaded{1};
+  /// Parity-eligible construction: bursty arrivals, laxity far beyond
+  /// wall-clock jitter, no fault injection, roomy mailboxes — the regime in
+  /// which the threaded backend must agree with the DES on scheduled /
+  /// culled / hit counts (see docs/FUZZING.md).
+  std::uint32_t parity_class{0};
+
+  bool operator==(const Scenario&) const = default;
+
+  [[nodiscard]] tasks::WorkloadConfig workload_config() const;
+  [[nodiscard]] std::string to_string() const;
+};
+
+/// Materializes the scenario's workload (deterministic in scenario.seed).
+std::vector<tasks::Task> make_workload(const Scenario& scenario);
+
+/// Draws scenario `index` of the sweep rooted at `base_seed`.
+Scenario generate_scenario(std::uint64_t base_seed, std::uint64_t index);
+
+/// One-line replay token ("rtds1.<fields>.c<checksum>").
+std::string encode_token(const Scenario& scenario);
+
+/// Parses a replay token; nullopt on malformed input, wrong version or
+/// checksum mismatch.
+std::optional<Scenario> decode_token(const std::string& token);
+
+}  // namespace rtds::testing

@@ -1,0 +1,144 @@
+#include "testing/shrink.h"
+
+#include <utility>
+#include <vector>
+
+namespace rtds::testing {
+namespace {
+
+/// Simplification candidates, most-reductive first. Each is `s` with one
+/// aspect moved toward the trivial scenario; no-ops are skipped so the
+/// greedy loop terminates (every accepted candidate strictly simplifies).
+std::vector<Scenario> candidates(const Scenario& s) {
+  std::vector<Scenario> out;
+  const auto push = [&out, &s](const Scenario& c) {
+    if (!(c == s)) out.push_back(c);
+  };
+  if (s.num_tasks > 1) {
+    Scenario c = s;
+    c.num_tasks = s.num_tasks / 2;
+    push(c);
+  }
+  if (s.num_tasks > 0) {
+    Scenario c = s;
+    c.num_tasks -= 1;
+    push(c);
+  }
+  {
+    Scenario c = s;
+    c.run_threaded = 0;  // a sim-only repro is far cheaper to replay
+    push(c);
+  }
+  {
+    Scenario c = s;
+    c.num_shards = 1;
+    push(c);
+  }
+  if (s.workers > 1) {
+    Scenario c = s;
+    c.workers = s.workers / 2;
+    c.num_shards = 1;  // keep the shards-divide-workers invariant
+    push(c);
+  }
+  {
+    Scenario c = s;
+    c.refusal_period = 0;
+    push(c);
+  }
+  {
+    Scenario c = s;
+    c.arrival_kind = kArrivalBursty;
+    c.max_start_offset_us = 0;
+    push(c);
+  }
+  {
+    Scenario c = s;
+    c.reclaim = 0;
+    c.actual_fraction_min_permille = 1000;
+    c.actual_fraction_max_permille = 1000;
+    push(c);
+  }
+  {
+    Scenario c = s;
+    c.comm_cost_us = 0;
+    push(c);
+  }
+  {
+    Scenario c = s;
+    c.mailbox_capacity = 1024;
+    c.delivery_retries = 3;
+    push(c);
+  }
+  {
+    Scenario c = s;
+    c.max_delivery_attempts = 8;
+    c.backpressure_us = 200;
+    push(c);
+  }
+  {
+    Scenario c = s;
+    c.quantum_kind = 0;
+    push(c);
+  }
+  {
+    Scenario c = s;
+    c.vertex_cost_us = 10;
+    c.phase_overhead_us = 50;
+    push(c);
+  }
+  {
+    Scenario c = s;
+    const std::int64_t mid = (s.processing_min_us + s.processing_max_us) / 2;
+    c.processing_min_us = mid;
+    c.processing_max_us = mid;
+    push(c);
+  }
+  {
+    Scenario c = s;
+    const std::uint32_t mid = (s.laxity_min_centi + s.laxity_max_centi) / 2;
+    c.laxity_min_centi = mid;
+    c.laxity_max_centi = mid;
+    push(c);
+  }
+  {
+    Scenario c = s;
+    c.algorithm = kAlgoRtSads;
+    push(c);
+  }
+  {
+    Scenario c = s;
+    c.parity_class = 0;
+    push(c);
+  }
+  return out;
+}
+
+}  // namespace
+
+ShrinkResult shrink(const Scenario& failing, const HarnessOptions& options,
+                    std::uint32_t max_runs) {
+  ShrinkResult r;
+  r.minimal = failing;
+  r.result = run_scenario(failing, options);
+  ++r.runs;
+  if (r.result.ok()) return r;
+
+  bool progress = true;
+  while (progress && r.runs < max_runs) {
+    progress = false;
+    for (const Scenario& c : candidates(r.minimal)) {
+      if (r.runs >= max_runs) break;
+      ScenarioResult cr = run_scenario(c, options);
+      ++r.runs;
+      if (!cr.ok()) {
+        r.minimal = c;
+        r.result = std::move(cr);
+        progress = true;
+        break;  // re-derive candidates from the new, simpler scenario
+      }
+    }
+  }
+  return r;
+}
+
+}  // namespace rtds::testing

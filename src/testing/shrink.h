@@ -1,0 +1,33 @@
+// Greedy scenario shrinking: turn a failing fuzz case into the smallest
+// scenario that still violates an oracle, so the replay token attached to a
+// CI failure reproduces the bug in milliseconds instead of re-running the
+// original adversarial blob.
+//
+// The shrinker proposes one simplification at a time (halve the task count,
+// drop fault injection, collapse to one worker, zero the comm cost, ...),
+// keeps a candidate only if the harness still reports a violation, and
+// repeats to a fixpoint under a hard budget of harness runs. Greedy is
+// enough here: scenarios are small flat structs and every transformation is
+// monotone toward the default scenario.
+#pragma once
+
+#include <cstdint>
+
+#include "testing/harness.h"
+#include "testing/scenario.h"
+
+namespace rtds::testing {
+
+struct ShrinkResult {
+  Scenario minimal;       ///< smallest still-failing scenario found
+  ScenarioResult result;  ///< harness outcome of `minimal`
+  std::uint32_t runs{0};  ///< harness invocations spent (<= max_runs)
+};
+
+/// Shrinks `failing` to a fixpoint or until `max_runs` harness invocations.
+/// If `failing` does not actually fail under `options`, returns it
+/// unchanged with result.ok() == true.
+ShrinkResult shrink(const Scenario& failing, const HarnessOptions& options,
+                    std::uint32_t max_runs = 200);
+
+}  // namespace rtds::testing

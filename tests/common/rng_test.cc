@@ -170,5 +170,33 @@ TEST(DeriveSeedTest, DistinctPerRunAndStable) {
   EXPECT_NE(derive_seed(100, 0), derive_seed(101, 0));
 }
 
+TEST(DeriveSeedTest, StreamZeroPreservesHistoricSeeds) {
+  // The named-substream overload with stream 0 must collapse to the
+  // two-argument form: exp::run_repeated relies on this so the pinned
+  // figure numbers (tests/exp/fig5_golden_test.cc) never shift.
+  for (std::uint64_t base : {1ULL, 100ULL, 0x5ADC0FFEE1998ULL}) {
+    for (std::uint64_t i = 0; i < 8; ++i) {
+      EXPECT_EQ(derive_seed(base, 0, i), derive_seed(base, i));
+    }
+  }
+}
+
+TEST(DeriveSeedTest, NamedStreamsAreIndependent) {
+  constexpr std::uint64_t kA = stream_id("fuzz.workload");
+  constexpr std::uint64_t kB = stream_id("fuzz.scenario");
+  static_assert(kA != kB, "distinct names must hash apart");
+  static_assert(stream_id("x") == stream_id("x"));
+  const std::uint64_t base = 0xBA5E;
+  // Different streams off the same base diverge...
+  EXPECT_NE(derive_seed(base, kA, 0), derive_seed(base, kB, 0));
+  // ...and differ from the unstreamed sequence.
+  EXPECT_NE(derive_seed(base, kA, 0), derive_seed(base, 0));
+  EXPECT_NE(derive_seed(base, kA, 3), derive_seed(base, 3));
+  // Deterministic, distinct per index, and base-sensitive.
+  EXPECT_EQ(derive_seed(base, kA, 5), derive_seed(base, kA, 5));
+  EXPECT_NE(derive_seed(base, kA, 5), derive_seed(base, kA, 6));
+  EXPECT_NE(derive_seed(base, kA, 5), derive_seed(base + 1, kA, 5));
+}
+
 }  // namespace
 }  // namespace rtds

@@ -159,5 +159,82 @@ TEST(BatchTest, ClearEmptiesEverything) {
   EXPECT_TRUE(b.empty());
 }
 
+TEST(BatchTest, ReadmitAfterPartialDelivery) {
+  // A phase schedules {1,2,3}, the backend accepts only {1,3}: the pipeline
+  // removes all three as scheduled, then readmits the refused task 2. The
+  // batch must end with exactly the refused task pending, once.
+  Batch b;
+  const Task t1 = make_task(1, msec(1), SimTime{1000000});
+  const Task t2 = make_task(2, msec(2), SimTime{1000000});
+  const Task t3 = make_task(3, msec(3), SimTime{1000000});
+  b.merge_arrivals({t1, t2, t3});
+  b.remove_scheduled({1, 2, 3});
+  EXPECT_TRUE(b.empty());
+  EXPECT_TRUE(b.readmit(t2));
+  ASSERT_EQ(b.size(), 1u);
+  EXPECT_EQ(b.tasks()[0].id, 2u);
+  // A second refusal of the same task in a later phase is a no-op while the
+  // first readmission is still pending.
+  EXPECT_FALSE(b.readmit(t2));
+  EXPECT_EQ(b.size(), 1u);
+}
+
+TEST(BatchTest, ReadmittedTaskMergesWithDuplicateIdArrival) {
+  // The readmitted copy is already pending when an arrival with the same id
+  // shows up: the merge must skip the duplicate (pending copy wins) and
+  // report 1 merged task, and the id index must stay consistent — after the
+  // pending copy is scheduled away, the id is admissible again.
+  Batch b;
+  const Task refused = make_task(7, msec(2), SimTime{1000000});
+  EXPECT_TRUE(b.readmit(refused));
+  const Task same_id = make_task(7, msec(9), SimTime{2000000});
+  const Task fresh = make_task(8, msec(1), SimTime{2000000});
+  EXPECT_EQ(b.merge_arrivals({same_id, fresh}), 1u);
+  ASSERT_EQ(b.size(), 2u);
+  EXPECT_EQ(b.tasks()[0].id, 7u);
+  EXPECT_EQ(b.tasks()[0].processing, msec(2));  // the readmitted copy won
+  b.remove_scheduled({7});
+  EXPECT_EQ(b.size(), 1u);
+  EXPECT_TRUE(b.readmit(refused));
+  EXPECT_EQ(b.size(), 2u);
+}
+
+TEST(BatchTest, RemoveScheduledReadmitInterleaving) {
+  // Several rounds of schedule-everything / readmit-the-refused must keep
+  // the task set and the duplicate-detection index in lockstep.
+  Batch b;
+  std::vector<Task> all;
+  for (TaskId id = 0; id < 6; ++id) {
+    all.push_back(make_task(id, msec(1 + std::int64_t(id)), SimTime{5000000}));
+  }
+  b.merge_arrivals(all);
+  for (int round = 0; round < 4; ++round) {
+    // Schedule the whole batch...
+    std::unordered_set<TaskId> scheduled;
+    for (const Task& t : b.tasks()) scheduled.insert(t.id);
+    b.remove_scheduled(scheduled);
+    EXPECT_TRUE(b.empty());
+    // ...and readmit every other task, as a partial refusal would.
+    std::size_t readmitted = 0;
+    for (const Task& t : all) {
+      if ((t.id + std::uint64_t(round)) % 2 == 0 && scheduled.count(t.id)) {
+        EXPECT_TRUE(b.readmit(t));
+        ++readmitted;
+      }
+    }
+    EXPECT_EQ(b.size(), readmitted);
+    all.assign(b.tasks().begin(), b.tasks().end());
+  }
+}
+
+TEST(BatchTest, RemoveScheduledIgnoresAbsentIds) {
+  Batch b;
+  b.merge_arrivals({make_task(1, msec(1), SimTime{1000000})});
+  b.remove_scheduled({1, 99});  // 99 was culled elsewhere: ignored
+  EXPECT_TRUE(b.empty());
+  // And the absent id did not poison the index.
+  EXPECT_TRUE(b.readmit(make_task(99, msec(1), SimTime{1000000})));
+}
+
 }  // namespace
 }  // namespace rtds::tasks

@@ -1,0 +1,107 @@
+// Scenario generation and replay-token serialization.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "testing/scenario.h"
+
+namespace rtds::testing {
+namespace {
+
+TEST(ScenarioTest, TokenRoundTripsEveryGeneratedScenario) {
+  for (std::uint64_t i = 0; i < 64; ++i) {
+    const Scenario s = generate_scenario(0xABCDEF, i);
+    const std::string token = encode_token(s);
+    const auto decoded = decode_token(token);
+    ASSERT_TRUE(decoded.has_value()) << token;
+    EXPECT_EQ(*decoded, s) << token;
+  }
+}
+
+TEST(ScenarioTest, TokenRoundTripsDefaultScenario) {
+  const Scenario s;
+  const auto decoded = decode_token(encode_token(s));
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(*decoded, s);
+}
+
+TEST(ScenarioTest, DecodeRejectsTamperedToken) {
+  std::string token = encode_token(generate_scenario(1, 0));
+  token.back() = token.back() == '0' ? '1' : '0';
+  EXPECT_FALSE(decode_token(token).has_value());
+}
+
+TEST(ScenarioTest, DecodeRejectsWrongVersionAndGarbage) {
+  std::string token = encode_token(Scenario{});
+  ASSERT_EQ(token.substr(0, 5), "rtds1");
+  EXPECT_FALSE(decode_token("rtds9" + token.substr(5)).has_value());
+  EXPECT_FALSE(decode_token("").has_value());
+  EXPECT_FALSE(decode_token("rtds1").has_value());
+  EXPECT_FALSE(decode_token("not a token at all").has_value());
+  // Truncated field list.
+  EXPECT_FALSE(decode_token(token.substr(0, token.size() / 2)).has_value());
+}
+
+TEST(ScenarioTest, GeneratorKeepsScenariosValid) {
+  for (std::uint64_t i = 0; i < 256; ++i) {
+    const Scenario s = generate_scenario(0x5EED, i);
+    EXPECT_GE(s.workers, 1u);
+    EXPECT_LE(s.workers, 8u);
+    EXPECT_GE(s.num_shards, 1u);
+    EXPECT_EQ(s.workers % s.num_shards, 0u)
+        << "shards must divide workers (scenario " << i << ")";
+    EXPECT_LE(s.processing_min_us, s.processing_max_us);
+    EXPECT_LE(s.laxity_min_centi, s.laxity_max_centi);
+    EXPECT_LE(s.actual_fraction_min_permille, s.actual_fraction_max_permille);
+    EXPECT_GT(s.vertex_cost_us, 0);
+    EXPECT_GT(s.min_quantum_us, 0);
+    EXPECT_LE(s.min_quantum_us, s.max_quantum_us);
+    if (s.parity_class != 0) {
+      // Parity-class scenarios must sit in the regime where the threaded
+      // backend provably agrees with the DES (see docs/FUZZING.md).
+      EXPECT_EQ(s.refusal_period, 0u);
+      EXPECT_EQ(s.max_start_offset_us, 0);
+      EXPECT_EQ(s.reclaim, 0u);
+      EXPECT_EQ(s.num_shards, 1u);
+      EXPECT_GE(s.laxity_min_centi, 1'000'000u);
+    }
+  }
+}
+
+TEST(ScenarioTest, GenerationIsDeterministic) {
+  for (std::uint64_t i = 0; i < 16; ++i) {
+    EXPECT_EQ(generate_scenario(42, i), generate_scenario(42, i));
+  }
+  // Different indices of the same sweep differ (no stuck substream).
+  EXPECT_NE(generate_scenario(42, 0), generate_scenario(42, 1));
+}
+
+TEST(ScenarioTest, WorkloadIsDeterministicAndSized) {
+  const Scenario s = generate_scenario(7, 3);
+  const auto a = make_workload(s);
+  const auto b = make_workload(s);
+  EXPECT_EQ(a.size(), s.num_tasks);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].id, b[i].id);
+    EXPECT_EQ(a[i].arrival, b[i].arrival);
+    EXPECT_EQ(a[i].deadline, b[i].deadline);
+    EXPECT_EQ(a[i].processing, b[i].processing);
+  }
+  // The workload substream is independent of the scenario substream: a
+  // different seed yields a different workload.
+  Scenario other = s;
+  other.seed = s.seed + 1;
+  const auto c = make_workload(other);
+  ASSERT_EQ(c.size(), a.size());
+  bool any_diff = false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    any_diff = any_diff || !(a[i].processing == c[i].processing) ||
+               !(a[i].arrival == c[i].arrival);
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+}  // namespace
+}  // namespace rtds::testing

@@ -1,0 +1,172 @@
+// rtds_fuzz — deterministic stress/fuzz driver (docs/FUZZING.md).
+//
+//   rtds_fuzz [--scenarios N] [--seed S] [--no-threaded] [--time-scale X]
+//             [--shrink-budget N] [--artifact-dir DIR]
+//   rtds_fuzz --replay <token>
+//   rtds_fuzz --list-oracles
+//
+// Sweeps scenarios generate_scenario(seed, 0..N-1) through the harness.
+// On the first oracle violation it shrinks the scenario to a minimal
+// still-failing repro, prints both replay tokens, optionally writes them to
+// <artifact-dir>/failing_tokens.txt (uploaded by CI), and exits 1.
+#include <cstdint>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <string>
+
+#include "testing/harness.h"
+#include "testing/oracles.h"
+#include "testing/scenario.h"
+#include "testing/shrink.h"
+
+namespace {
+
+constexpr std::uint64_t kDefaultBaseSeed = 0x52AD5FEEDULL;
+
+struct Args {
+  std::uint64_t scenarios = 200;
+  std::uint64_t seed = kDefaultBaseSeed;
+  std::uint32_t shrink_budget = 150;
+  std::string replay_token;
+  std::string artifact_dir;
+  bool list_oracles = false;
+  rtds::testing::HarnessOptions harness;
+};
+
+void usage(std::ostream& os) {
+  os << "usage: rtds_fuzz [--scenarios N] [--seed S] [--no-threaded]\n"
+        "                 [--time-scale X] [--shrink-budget N]\n"
+        "                 [--artifact-dir DIR]\n"
+        "       rtds_fuzz --replay <token>\n"
+        "       rtds_fuzz --list-oracles\n";
+}
+
+bool parse_args(int argc, char** argv, Args& args) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    const auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    if (a == "--scenarios") {
+      const char* v = next();
+      if (!v) return false;
+      args.scenarios = std::strtoull(v, nullptr, 0);
+    } else if (a == "--seed") {
+      const char* v = next();
+      if (!v) return false;
+      args.seed = std::strtoull(v, nullptr, 0);
+    } else if (a == "--shrink-budget") {
+      const char* v = next();
+      if (!v) return false;
+      args.shrink_budget =
+          static_cast<std::uint32_t>(std::strtoul(v, nullptr, 0));
+    } else if (a == "--time-scale") {
+      const char* v = next();
+      if (!v) return false;
+      args.harness.threaded_time_scale = std::strtod(v, nullptr);
+    } else if (a == "--no-threaded") {
+      args.harness.run_threaded = false;
+    } else if (a == "--replay") {
+      const char* v = next();
+      if (!v) return false;
+      args.replay_token = v;
+    } else if (a == "--artifact-dir") {
+      const char* v = next();
+      if (!v) return false;
+      args.artifact_dir = v;
+    } else if (a == "--list-oracles") {
+      args.list_oracles = true;
+    } else if (a == "--help" || a == "-h") {
+      usage(std::cout);
+      std::exit(0);
+    } else {
+      std::cerr << "rtds_fuzz: unknown argument '" << a << "'\n";
+      return false;
+    }
+  }
+  return true;
+}
+
+void save_tokens(const std::string& dir, const std::string& original,
+                 const std::string& minimal) {
+  if (dir.empty()) return;
+  std::ofstream out(dir + "/failing_tokens.txt", std::ios::app);
+  if (!out) {
+    std::cerr << "rtds_fuzz: cannot write to " << dir << "\n";
+    return;
+  }
+  out << "original " << original << "\n";
+  out << "minimal  " << minimal << "\n";
+}
+
+int report_failure(const rtds::testing::ScenarioResult& result,
+                   const Args& args) {
+  std::cerr << "\nORACLE VIOLATION\n" << result.to_string() << "\n";
+  std::cerr << "\nshrinking (budget " << args.shrink_budget << " runs)...\n";
+  const rtds::testing::ShrinkResult shrunk = rtds::testing::shrink(
+      result.scenario, args.harness, args.shrink_budget);
+  std::cerr << "minimal repro after " << shrunk.runs << " runs:\n"
+            << shrunk.result.to_string() << "\n";
+  std::cerr << "\nreplay with: rtds_fuzz --replay " << shrunk.result.token
+            << "\n";
+  save_tokens(args.artifact_dir, result.token, shrunk.result.token);
+  return 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Args args;
+  if (!parse_args(argc, argv, args)) {
+    usage(std::cerr);
+    return 2;
+  }
+
+  if (args.list_oracles) {
+    for (const std::string& name : rtds::testing::oracle_names()) {
+      std::cout << name << "\n";
+    }
+    return 0;
+  }
+
+  if (!args.replay_token.empty()) {
+    const auto scenario = rtds::testing::decode_token(args.replay_token);
+    if (!scenario) {
+      std::cerr << "rtds_fuzz: malformed replay token\n";
+      return 2;
+    }
+    const rtds::testing::ScenarioResult result =
+        rtds::testing::run_scenario(*scenario, args.harness);
+    std::cout << result.to_string() << "\n";
+    return result.ok() ? 0 : 1;
+  }
+
+  std::uint64_t threaded_runs = 0;
+  std::uint64_t sharded_runs = 0;
+  std::uint64_t total_tasks = 0;
+  for (std::uint64_t i = 0; i < args.scenarios; ++i) {
+    const rtds::testing::Scenario scenario =
+        rtds::testing::generate_scenario(args.seed, i);
+    const rtds::testing::ScenarioResult result =
+        rtds::testing::run_scenario(scenario, args.harness);
+    if (!result.ok()) {
+      std::cerr << "scenario " << i << " of sweep seed 0x" << std::hex
+                << args.seed << std::dec << " failed\n";
+      return report_failure(result, args);
+    }
+    threaded_runs += result.threaded_ran ? 1 : 0;
+    sharded_runs += result.shard_runs.empty() ? 0 : 1;
+    total_tasks += result.sim.metrics.total_tasks;
+    if ((i + 1) % 100 == 0) {
+      std::cerr << "  " << (i + 1) << "/" << args.scenarios
+                << " scenarios clean\n";
+    }
+  }
+  std::cout << "rtds_fuzz: " << args.scenarios << " scenarios (seed 0x"
+            << std::hex << args.seed << std::dec << "), " << total_tasks
+            << " tasks, " << threaded_runs << " threaded runs, "
+            << sharded_runs << " sharded runs — all oracles passed\n";
+  return 0;
+}
