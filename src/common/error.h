@@ -1,8 +1,17 @@
 // Error handling primitives.
 //
 // The library throws `rtds::Error` for violated preconditions in public APIs
-// and uses RTDS_ASSERT for internal invariants (enabled in all build types —
-// the simulations are cheap enough that we never want silent corruption).
+// and uses RTDS_ASSERT for internal invariants. Three tiers:
+//   * RTDS_REQUIRE    — public-API precondition, always on, InvalidArgument.
+//   * RTDS_CHECK_MSG  — load-bearing invariant whose violation must never be
+//                       silent (e.g. the task-conservation ledger), always
+//                       on in every build type, InvariantViolation.
+//   * RTDS_ASSERT[_MSG] — debug invariant on the hot path; compiled out
+//                       when RTDS_DISABLE_ASSERTS is defined (the Release
+//                       perf configuration, see the release-fast CI job).
+//                       The disabled form still parses the expression
+//                       ((void)sizeof) so asserts cannot hide bit-rot or
+//                       side effects the build depends on.
 #pragma once
 
 #include <sstream>
@@ -41,6 +50,22 @@ namespace detail {
 
 }  // namespace rtds
 
+#define RTDS_CHECK_MSG(expr, msg)                                    \
+  do {                                                               \
+    if (!(expr))                                                     \
+      ::rtds::detail::assert_fail(#expr, __FILE__, __LINE__, (msg)); \
+  } while (0)
+
+#ifdef RTDS_DISABLE_ASSERTS
+#define RTDS_ASSERT(expr) \
+  do {                    \
+    (void)sizeof(expr);   \
+  } while (0)
+#define RTDS_ASSERT_MSG(expr, msg) \
+  do {                             \
+    (void)sizeof(expr);            \
+  } while (0)
+#else
 #define RTDS_ASSERT(expr)                                            \
   do {                                                               \
     if (!(expr)) ::rtds::detail::assert_fail(#expr, __FILE__, __LINE__, ""); \
@@ -51,6 +76,7 @@ namespace detail {
     if (!(expr))                                                     \
       ::rtds::detail::assert_fail(#expr, __FILE__, __LINE__, (msg)); \
   } while (0)
+#endif
 
 #define RTDS_REQUIRE(expr, msg)                        \
   do {                                                 \

@@ -41,6 +41,11 @@ class Interconnect {
   [[nodiscard]] std::uint32_t num_workers() const { return num_workers_; }
   [[nodiscard]] RoutingModel model() const { return model_; }
 
+  /// The model's cost constant: C under cut-through, the per-hop cost under
+  /// store-and-forward. Exposed so the search can inline the cut-through
+  /// pricing (0 or C) without a call per evaluation.
+  [[nodiscard]] SimDuration link_cost() const { return cost_; }
+
   /// Communication cost c_ij of running a task whose data holders are
   /// `affinity` on worker `target`. Zero when target is a holder.
   /// An empty affinity set is a caller bug (a task must have data

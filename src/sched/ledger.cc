@@ -22,7 +22,7 @@ const char* to_string(TaskState state) {
 
 void TaskLedger::arrive(tasks::TaskId id) {
   const bool inserted = states_.emplace(id, TaskState::kArrived).second;
-  RTDS_ASSERT_MSG(inserted, "TaskLedger: task arrived twice");
+  RTDS_CHECK_MSG(inserted, "TaskLedger: task arrived twice");
   ++counts_.total;
   ++counts_.in_flight;
 }
@@ -75,7 +75,7 @@ bool TaskLedger::known(tasks::TaskId id) const {
 
 TaskState TaskLedger::state(tasks::TaskId id) const {
   const auto it = states_.find(id);
-  RTDS_ASSERT_MSG(it != states_.end(), "TaskLedger: unknown task id");
+  RTDS_CHECK_MSG(it != states_.end(), "TaskLedger: unknown task id");
   return it->second;
 }
 
@@ -87,7 +87,7 @@ void TaskLedger::check_conserved() const {
      << counts_.exec_misses << " + culled " << counts_.culled
      << " + rejected " << counts_.rejected << " (in flight "
      << counts_.in_flight << ")";
-  RTDS_ASSERT_MSG(false, os.str());
+  RTDS_CHECK_MSG(false, os.str());
 }
 
 void TaskLedger::clear() {
@@ -97,12 +97,12 @@ void TaskLedger::clear() {
 
 void TaskLedger::transition(tasks::TaskId id, TaskState from, TaskState to) {
   const auto it = states_.find(id);
-  RTDS_ASSERT_MSG(it != states_.end(), "TaskLedger: unknown task id");
+  RTDS_CHECK_MSG(it != states_.end(), "TaskLedger: unknown task id");
   if (it->second != from) {
     std::ostringstream os;
     os << "TaskLedger: task " << id << " is " << to_string(it->second)
        << ", cannot move " << to_string(from) << " -> " << to_string(to);
-    RTDS_ASSERT_MSG(false, os.str());
+    RTDS_CHECK_MSG(false, os.str());
   }
   it->second = to;
 }

@@ -1,5 +1,6 @@
 #include "sched/pipeline.h"
 
+#include <chrono>
 #include <unordered_map>
 #include <unordered_set>
 #include <utility>
@@ -118,9 +119,15 @@ RunMetrics PhasePipeline::run(const std::vector<Task>& workload,
           load <= quantum ? SimDuration::zero() : load - quantum;
     }
 
+    const auto search_start = std::chrono::steady_clock::now();
     const SearchResult result = algorithm_.schedule_phase(
         batch.tasks(), std::move(base_loads), planned_delivery,
         backend.interconnect(), budget);
+    const auto search_wall_ns = static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - search_start)
+            .count());
+    metrics.search_wall_ns += search_wall_ns;
 
     // The host was busy for the vertices it generated plus the fixed
     // turnover/delivery overhead.
@@ -205,6 +212,7 @@ RunMetrics PhasePipeline::run(const std::vector<Task>& workload,
       record.vertex_budget = budget;
       record.quantum_floor_override = floor_override;
       record.search = result.stats;
+      record.search_wall_ns = search_wall_ns;
       record.scheduled = result.schedule.size();
       record.delivered = delivered.accepted;
       record.overflow_drops = delivered.undelivered.size();

@@ -35,6 +35,9 @@ struct PhaseRecord {
   bool quantum_floor_override{false};
 
   search::SearchStats search;
+  /// Host wall-clock nanoseconds the phase spent inside the search (real
+  /// time, not simulated — nondeterministic across runs).
+  std::uint64_t search_wall_ns{0};
   std::uint64_t scheduled{0};   ///< assignments produced by the search
   std::uint64_t delivered{0};   ///< assignments accepted by the backend
   std::uint64_t overflow_drops{0};  ///< delivery refusals this phase

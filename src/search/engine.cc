@@ -1,6 +1,7 @@
 #include "search/engine.h"
 
 #include <algorithm>
+#include <bit>
 #include <tuple>
 
 #include "common/error.h"
@@ -10,20 +11,25 @@ namespace rtds::search {
 namespace {
 
 /// A generated vertex kept in the search arena. `parent` is an index into
-/// the arena, or -1 for children of the root.
+/// the arena, or -1 for children of the root. Depth and cursor are packed
+/// into 16 bits each (run() rejects batches above 65535 tasks) so a node is
+/// one cache line wide with the embedded assignment.
 struct Node {
   std::int32_t parent{-1};
-  std::uint32_t depth{0};  ///< number of assignments on the path to here
-  /// Assignment-oriented task-scan resume point: tasks before this index in
-  /// the consideration order are either assigned on this path or were
+  std::uint16_t depth{0};  ///< number of assignments on the path to here
+  /// Assignment-oriented task-scan resume point: tasks before this position
+  /// in the consideration order are either assigned on this path or were
   /// proven unplaceable at an ancestor (and stay so, since queue offsets
   /// only grow along a path).
-  std::uint32_t order_cursor{0};
+  std::uint16_t order_cursor{0};
   Assignment assignment;
 };
 
 /// A feasible successor awaiting insertion into CL, with its sort key.
-/// Lower keys are higher priority (front of CL).
+/// Lower keys are higher priority (front of CL). Within one successor group
+/// the key tuple is a strict total order (the last significant component is
+/// the branch index or worker id, unique per candidate), so any comparison
+/// sort produces the historical stable_sort permutation.
 struct Candidate {
   Assignment assignment;
   std::int64_t key1{0};
@@ -35,36 +41,14 @@ struct Candidate {
   }
 };
 
-/// The candidate list CL. Depth-first consumes it as a stack (successor
-/// groups are pushed best-on-top, Sec. 4.1); best-first always surfaces the
-/// globally cheapest candidate (heap keyed by the candidate sort key, FIFO
-/// among equals).
+/// The candidate list CL over caller-owned storage. Depth-first consumes it
+/// as a stack (successor groups are pushed best-on-top, Sec. 4.1);
+/// best-first is a 4-ary min-heap on (k1, k2, k3, seq) — seq makes the
+/// order strictly total, so the pop sequence is independent of heap shape
+/// and identical to the historical std::push_heap/pop_heap binary heap
+/// (FIFO among key-equal entries).
 class CandidateList {
  public:
-  explicit CandidateList(SearchStrategy strategy) : strategy_(strategy) {}
-
-  [[nodiscard]] bool empty() const { return entries_.empty(); }
-
-  /// Depth-first callers must push a successor group in reverse priority
-  /// order (worst first) so the best ends on top.
-  void push(const Candidate& c, std::int32_t node) {
-    entries_.push_back(Entry{c.key1, c.key2, c.key3, seq_++, node});
-    if (strategy_ == SearchStrategy::kBestFirst) {
-      std::push_heap(entries_.begin(), entries_.end(), BestOnTop{});
-    }
-  }
-
-  std::int32_t pop() {
-    RTDS_ASSERT(!entries_.empty());
-    if (strategy_ == SearchStrategy::kBestFirst) {
-      std::pop_heap(entries_.begin(), entries_.end(), BestOnTop{});
-    }
-    const std::int32_t node = entries_.back().node;
-    entries_.pop_back();
-    return node;
-  }
-
- private:
   struct Entry {
     std::int64_t k1;
     std::int64_t k2;
@@ -72,31 +56,118 @@ class CandidateList {
     std::uint64_t seq;
     std::int32_t node;
   };
-  /// Heap "less": an entry is smaller when its key is LARGER (so the heap
-  /// top is the cheapest candidate; earlier seq wins ties — FIFO).
-  struct BestOnTop {
-    bool operator()(const Entry& a, const Entry& b) const {
-      return std::tie(a.k1, a.k2, a.k3, a.seq) >
-             std::tie(b.k1, b.k2, b.k3, b.seq);
+
+  CandidateList(SearchStrategy strategy, std::vector<Entry>& storage)
+      : strategy_(strategy), entries_(storage) {
+    entries_.clear();
+  }
+
+  [[nodiscard]] bool empty() const { return entries_.empty(); }
+
+  /// Depth-first callers must push a successor group in reverse priority
+  /// order (worst first) so the best ends on top.
+  void push(const Candidate& c, std::int32_t node) {
+    entries_.push_back(Entry{c.key1, c.key2, c.key3, seq_++, node});
+    if (strategy_ == SearchStrategy::kBestFirst) sift_up(entries_.size() - 1);
+  }
+
+  std::int32_t pop() {
+    RTDS_ASSERT(!entries_.empty());
+    if (strategy_ != SearchStrategy::kBestFirst) {
+      const std::int32_t node = entries_.back().node;
+      entries_.pop_back();
+      return node;
     }
-  };
+    const std::int32_t node = entries_.front().node;
+    entries_.front() = entries_.back();
+    entries_.pop_back();
+    if (!entries_.empty()) sift_down(0);
+    return node;
+  }
+
+ private:
+  static bool less(const Entry& a, const Entry& b) {
+    return std::tie(a.k1, a.k2, a.k3, a.seq) <
+           std::tie(b.k1, b.k2, b.k3, b.seq);
+  }
+
+  void sift_up(std::size_t i) {
+    Entry e = entries_[i];
+    while (i > 0) {
+      const std::size_t parent = (i - 1) / 4;
+      if (!less(e, entries_[parent])) break;
+      entries_[i] = entries_[parent];
+      i = parent;
+    }
+    entries_[i] = e;
+  }
+
+  void sift_down(std::size_t i) {
+    const std::size_t size = entries_.size();
+    Entry e = entries_[i];
+    while (true) {
+      const std::size_t first_child = 4 * i + 1;
+      if (first_child >= size) break;
+      const std::size_t last_child = std::min(first_child + 4, size);
+      std::size_t best = first_child;
+      for (std::size_t c = first_child + 1; c < last_child; ++c) {
+        if (less(entries_[c], entries_[best])) best = c;
+      }
+      if (!less(entries_[best], e)) break;
+      entries_[i] = entries_[best];
+      i = best;
+    }
+    entries_[i] = e;
+  }
 
   SearchStrategy strategy_;
   std::uint64_t seq_{0};
-  std::vector<Entry> entries_;
+  std::vector<Entry>& entries_;
+};
+
+/// Stable in-place insertion sort; O(k) on the nearly-sorted groups the
+/// heuristics produce, and no temp-buffer allocation (std::stable_sort
+/// allocates one per call in libstdc++). Falls back to std::sort for large
+/// groups — safe because candidate keys are strictly totally ordered within
+/// a group, so every comparison sort yields the same permutation.
+void sort_candidates(std::vector<Candidate>& c) {
+  if (c.size() > 48) {
+    std::sort(c.begin(), c.end());
+    return;
+  }
+  for (std::size_t i = 1; i < c.size(); ++i) {
+    Candidate tmp = c[i];
+    std::size_t j = i;
+    for (; j > 0 && tmp < c[j - 1]; --j) c[j] = c[j - 1];
+    c[j] = tmp;
+  }
+}
+
+/// Per-thread scratch buffers reused across run() calls so the hot loop is
+/// allocation-free after the first few phases (capacity is retained by
+/// clear()). thread_local keeps the engine safely shareable across backend
+/// threads.
+struct Workspace {
+  std::vector<std::uint32_t> order;
+  std::vector<Node> arena;
+  std::vector<Candidate> candidates;
+  std::vector<CandidateList::Entry> cl_entries;
+  std::vector<tasks::ProcessorId> level_order;
+  std::vector<const Assignment*> chain;
 };
 
 }  // namespace
 
-std::vector<std::uint32_t> task_consideration_order(
-    const std::vector<Task>& batch, TaskOrder order) {
-  std::vector<std::uint32_t> idx(batch.size());
-  for (std::uint32_t i = 0; i < batch.size(); ++i) idx[i] = i;
+void task_consideration_order_into(const std::vector<Task>& batch,
+                                   TaskOrder order,
+                                   std::vector<std::uint32_t>& out) {
+  out.resize(batch.size());
+  for (std::uint32_t i = 0; i < batch.size(); ++i) out[i] = i;
   switch (order) {
     case TaskOrder::kBatchOrder:
       break;
     case TaskOrder::kEarliestDeadline:
-      std::stable_sort(idx.begin(), idx.end(),
+      std::stable_sort(out.begin(), out.end(),
                        [&](std::uint32_t a, std::uint32_t b) {
                          return batch[a].deadline < batch[b].deadline;
                        });
@@ -104,13 +175,19 @@ std::vector<std::uint32_t> task_consideration_order(
     case TaskOrder::kMinSlack:
       // Slack ordering (d - t - p) is time-independent within a phase:
       // compare d - p.
-      std::stable_sort(idx.begin(), idx.end(),
+      std::stable_sort(out.begin(), out.end(),
                        [&](std::uint32_t a, std::uint32_t b) {
                          return batch[a].deadline - batch[a].processing <
                                 batch[b].deadline - batch[b].processing;
                        });
       break;
   }
+}
+
+std::vector<std::uint32_t> task_consideration_order(
+    const std::vector<Task>& batch, TaskOrder order) {
+  std::vector<std::uint32_t> idx;
+  task_consideration_order_into(batch, order, idx);
   return idx;
 }
 
@@ -123,17 +200,30 @@ SearchResult SearchEngine::run(const std::vector<Task>& batch,
                                std::uint64_t vertex_budget) const {
   SearchResult result;
   if (batch.empty() || vertex_budget == 0) return result;
+  RTDS_REQUIRE(batch.size() <= 65535,
+               "SearchEngine: phase batch above 65535 tasks");
+
+  static thread_local Workspace ws;
 
   const auto n = static_cast<std::uint32_t>(batch.size());
   const std::uint32_t m = net.num_workers();
-  const std::vector<std::uint32_t> order =
-      task_consideration_order(batch, config_.task_order);
+
+  // kBatchOrder is the identity permutation: skip building (and chasing)
+  // the index vector entirely.
+  if (config_.task_order == TaskOrder::kBatchOrder) {
+    ws.order.clear();
+  } else {
+    task_consideration_order_into(batch, config_.task_order, ws.order);
+  }
+  const std::uint32_t* order = ws.order.empty() ? nullptr : ws.order.data();
 
   PartialSchedule ps(&batch, std::move(base_loads), delivery_time, &net);
+  ps.set_consideration_order(order);
 
-  std::vector<Node> arena;
-  arena.reserve(std::min<std::uint64_t>(vertex_budget, 1u << 20));
-  CandidateList cl(config_.strategy);
+  ws.arena.clear();
+  ws.arena.reserve(std::min<std::uint64_t>(vertex_budget, 1u << 20));
+  std::vector<Node>& arena = ws.arena;
+  CandidateList cl(config_.strategy, ws.cl_entries);
 
   SearchStats& stats = result.stats;
   std::uint64_t budget_left = vertex_budget;
@@ -184,7 +274,7 @@ SearchResult SearchEngine::run(const std::vector<Task>& batch,
   // budget for every generation, feasible or not), sorts the feasible ones,
   // and pushes them onto CL best-on-top. Returns the order cursor children
   // inherit (assignment-oriented only).
-  std::vector<Candidate> candidates;
+  std::vector<Candidate>& candidates = ws.candidates;
   const auto expand_current = [&](std::uint32_t cursor) -> std::uint32_t {
     ++stats.expansions;
     candidates.clear();
@@ -199,24 +289,39 @@ SearchResult SearchEngine::run(const std::vector<Task>& batch,
       // are skipped (see SearchConfig::skip_unplaceable_tasks) — their
       // infeasibility holds for the whole subtree, so children resume the
       // scan at the cursor this expansion returns.
+      //
+      // Queue offsets are fixed during one expansion, so min_ce is hoisted
+      // and feeds the bulk lower-bound test: when even the least-loaded
+      // worker cannot meet the deadline, all m placements are infeasible
+      // and the budget is charged in one step (identical accounting to
+      // evaluating each) without touching the queues.
+      const SimDuration lo = ps.min_ce();
       std::uint32_t scan = cursor;
       while (scan < n) {
         // Find the next unassigned task at or after `scan`.
-        while (scan < n && ps.assigned(order[scan])) ++scan;
+        scan = ps.first_unassigned_at_or_after(scan);
         if (scan == n) break;
-        const std::uint32_t task = order[scan];
-        for (std::uint32_t k = 0; k < m; ++k) {
-          if (budget_left == 0) {
-            stats.budget_exhausted = true;
-            break;
-          }
-          --budget_left;
-          ++stats.vertices_generated;
-          if (auto a = ps.evaluate(task, k)) {
-            candidates.push_back(make_candidate(*a, k));
-            if (config_.max_successors != 0 &&
-                candidates.size() >= config_.max_successors) {
+        const std::uint32_t task = ps.task_at(scan);
+        if (ps.task_unplaceable(task, lo)) {
+          const std::uint64_t charged = std::min<std::uint64_t>(m, budget_left);
+          budget_left -= charged;
+          stats.vertices_generated += charged;
+          if (charged < m) stats.budget_exhausted = true;
+        } else {
+          Assignment a;
+          for (std::uint32_t k = 0; k < m; ++k) {
+            if (budget_left == 0) {
+              stats.budget_exhausted = true;
               break;
+            }
+            --budget_left;
+            ++stats.vertices_generated;
+            if (ps.evaluate_fast(task, k, a)) {
+              candidates.push_back(make_candidate(a, k));
+              if (config_.max_successors != 0 &&
+                  candidates.size() >= config_.max_successors) {
+                break;
+              }
             }
           }
         }
@@ -233,51 +338,69 @@ SearchResult SearchEngine::run(const std::vector<Task>& batch,
       // unassigned task in heuristic order. When the level's processor
       // admits no feasible task, skip_saturated_processors moves on to the
       // next processor in the same order (every evaluation still charged).
-      std::vector<ProcessorId> level_order(m);
+      ws.level_order.resize(m);
       for (std::uint32_t k = 0; k < m; ++k) {
-        level_order[k] = (depth + k) % m;
+        ws.level_order[k] = (depth + k) % m;
       }
       if (config_.level_processor_order ==
           LevelProcessorOrder::kLeastLoaded) {
-        std::stable_sort(level_order.begin(), level_order.end(),
-                         [&](ProcessorId a, ProcessorId b) {
-                           return ps.ce(a) < ps.ce(b);
-                         });
+        // Stable insertion sort (m is small; no stable_sort temp buffer).
+        for (std::uint32_t i = 1; i < m; ++i) {
+          const ProcessorId tmp = ws.level_order[i];
+          std::uint32_t j = i;
+          for (; j > 0 && ps.ce(tmp) < ps.ce(ws.level_order[j - 1]); --j) {
+            ws.level_order[j] = ws.level_order[j - 1];
+          }
+          ws.level_order[j] = tmp;
+        }
       }
       const std::uint32_t max_rotations =
           config_.skip_saturated_processors ? m : 1;
+      const std::vector<std::uint64_t>& words = ps.unassigned_words();
       for (std::uint32_t rot = 0; rot < max_rotations; ++rot) {
-        const ProcessorId worker = level_order[rot];
+        const ProcessorId worker = ws.level_order[rot];
         std::uint32_t branch = 0;
-        for (std::uint32_t i : order) {
-          if (ps.assigned(i)) continue;
-          if (budget_left == 0) {
-            stats.budget_exhausted = true;
-            break;
-          }
-          --budget_left;
-          ++stats.vertices_generated;
-          if (auto a = ps.evaluate(i, worker)) {
-            candidates.push_back(make_candidate(*a, branch));
-            if (config_.max_successors != 0 &&
-                candidates.size() >= config_.max_successors) {
+        Assignment a;
+        bool stop = false;
+        // Iterate unassigned tasks in consideration order straight off the
+        // bitset words (set bit = unassigned position).
+        for (std::size_t w = 0; w < words.size() && !stop; ++w) {
+          std::uint64_t bits = words[w];
+          while (bits != 0) {
+            const auto pos = static_cast<std::uint32_t>(
+                (w << 6) + std::uint32_t(std::countr_zero(bits)));
+            bits &= bits - 1;
+            const std::uint32_t i = ps.task_at(pos);
+            if (budget_left == 0) {
+              stats.budget_exhausted = true;
+              stop = true;
               break;
             }
+            --budget_left;
+            ++stats.vertices_generated;
+            if (ps.evaluate_fast(i, worker, a)) {
+              candidates.push_back(make_candidate(a, branch));
+              if (config_.max_successors != 0 &&
+                  candidates.size() >= config_.max_successors) {
+                stop = true;
+                break;
+              }
+            }
+            ++branch;
           }
-          ++branch;
         }
         if (!candidates.empty() || stats.budget_exhausted) break;
       }
     }
 
-    std::stable_sort(candidates.begin(), candidates.end());
+    sort_candidates(candidates);
     // Push worst-first so the best candidate ends on top of the stack
     // (front of CL).
     for (auto it = candidates.rbegin(); it != candidates.rend(); ++it) {
       Node node;
       node.parent = current;
-      node.depth = ps.depth() + 1;
-      node.order_cursor = cursor;
+      node.depth = static_cast<std::uint16_t>(ps.depth() + 1);
+      node.order_cursor = static_cast<std::uint16_t>(cursor);
       node.assignment = it->assignment;
       arena.push_back(node);
       cl.push(*it, static_cast<std::int32_t>(arena.size() - 1));
@@ -287,7 +410,7 @@ SearchResult SearchEngine::run(const std::vector<Task>& batch,
 
   // Switches CPS from `current` to arena vertex `target` via their lowest
   // common ancestor.
-  std::vector<const Assignment*> chain;
+  std::vector<const Assignment*>& chain = ws.chain;
   const auto switch_to = [&](std::int32_t target) {
     chain.clear();
     std::int32_t a = current;

@@ -156,12 +156,18 @@ class SearchEngine {
 
   /// Runs one scheduling phase's search.
   ///
-  /// `batch`          — snapshot of Batch(j) (tasks to schedule);
+  /// `batch`          — snapshot of Batch(j) (tasks to schedule); at most
+  ///                    65535 tasks (arena nodes pack depth/cursor into 16
+  ///                    bits — far above any realistic phase batch);
   /// `base_loads`     — per-worker residual load at delivery time,
   ///                    max(0, Load_k(j-1) - Q_s(j));
   /// `delivery_time`  — t_s + Q_s(j);
   /// `net`            — interconnect pricing c_lk;
   /// `vertex_budget`  — maximum number of vertices to generate (>= 1).
+  ///
+  /// Thread-safe: per-thread scratch buffers are reused across calls, so
+  /// the search loop performs no heap allocation after the first phases on
+  /// a thread (docs/ARCHITECTURE.md, "Search hot path").
   [[nodiscard]] SearchResult run(const std::vector<Task>& batch,
                                  std::vector<SimDuration> base_loads,
                                  SimTime delivery_time,
@@ -177,5 +183,13 @@ class SearchEngine {
 /// the order is computed once). Exposed for tests.
 std::vector<std::uint32_t> task_consideration_order(
     const std::vector<Task>& batch, TaskOrder order);
+
+/// Allocation-reusing core of task_consideration_order: fills `out` with
+/// the permutation (capacity retained across phases). kBatchOrder yields
+/// the identity permutation; the engine skips the vector entirely in that
+/// case and callers that only need identity semantics may do the same.
+void task_consideration_order_into(const std::vector<Task>& batch,
+                                   TaskOrder order,
+                                   std::vector<std::uint32_t>& out);
 
 }  // namespace rtds::search

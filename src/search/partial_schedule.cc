@@ -1,6 +1,7 @@
 #include "search/partial_schedule.h"
 
 #include <algorithm>
+#include <bit>
 
 #include "common/error.h"
 
@@ -13,8 +14,7 @@ PartialSchedule::PartialSchedule(const std::vector<Task>* batch,
     : batch_(batch),
       net_(net),
       delivery_time_(delivery_time),
-      base_loads_(std::move(base_loads)),
-      assigned_(batch->size(), false) {
+      base_loads_(std::move(base_loads)) {
   RTDS_REQUIRE(batch_ != nullptr && net_ != nullptr,
                "PartialSchedule: null batch or interconnect");
   RTDS_REQUIRE(base_loads_.size() == net_->num_workers(),
@@ -25,55 +25,146 @@ PartialSchedule::PartialSchedule(const std::vector<Task>* batch,
   ce_ = base_loads_;
   max_ce_ = SimDuration::zero();
   for (SimDuration d : ce_) max_ce_ = max_duration(max_ce_, d);
-  path_.reserve(batch->size());
+
+  cut_through_ = net_->model() == machine::RoutingModel::kCutThrough;
+  comm_us_ = net_->link_cost().us;
+
+  const std::size_t n = batch_->size();
+  constants_.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const Task& t = (*batch_)[i];
+    TaskConstants& tc = constants_[i];
+    tc.processing_us = t.processing.us;
+    tc.es_off_us = t.earliest_start > delivery_time_
+                       ? (t.earliest_start - delivery_time_).us
+                       : 0;
+    tc.d_off_us = (t.deadline - delivery_time_).us;
+    tc.affinity_bits = t.affinity.raw();
+  }
+
+  unassigned_.resize((n + 63) / 64);
+  reset_unassigned_bits();
+  path_.reserve(n);
+}
+
+void PartialSchedule::reset_unassigned_bits() {
+  const std::size_t n = batch_->size();
+  std::fill(unassigned_.begin(), unassigned_.end(), ~std::uint64_t{0});
+  if (n % 64 != 0 && !unassigned_.empty()) {
+    unassigned_.back() = (std::uint64_t{1} << (n % 64)) - 1;
+  }
+}
+
+void PartialSchedule::set_consideration_order(const std::uint32_t* order) {
+  RTDS_REQUIRE(path_.empty(),
+               "set_consideration_order: schedule already has assignments");
+  order_ = order;
+  pos_of_task_.clear();
+  if (order != nullptr) {
+    const auto n = static_cast<std::uint32_t>(batch_->size());
+    pos_of_task_.assign(n, n);  // sentinel: not yet seen
+    for (std::uint32_t pos = 0; pos < n; ++pos) {
+      const std::uint32_t task = order[pos];
+      RTDS_REQUIRE(task < n && pos_of_task_[task] == n,
+                   "set_consideration_order: not a permutation of the batch");
+      pos_of_task_[task] = pos;
+    }
+  }
+  reset_unassigned_bits();
+}
+
+std::uint32_t PartialSchedule::first_unassigned_at_or_after(
+    std::uint32_t pos) const {
+  const auto n = static_cast<std::uint32_t>(batch_->size());
+  if (pos >= n) return n;
+  std::size_t word = pos >> 6;
+  // Mask off positions below `pos` in the first word.
+  std::uint64_t bits = unassigned_[word] & (~std::uint64_t{0} << (pos & 63));
+  while (bits == 0) {
+    if (++word == unassigned_.size()) return n;
+    bits = unassigned_[word];
+  }
+  return static_cast<std::uint32_t>((word << 6) +
+                                    std::uint32_t(std::countr_zero(bits)));
+}
+
+SimDuration PartialSchedule::min_ce() const {
+  SimDuration lo = ce_[0];
+  for (std::size_t k = 1; k < ce_.size(); ++k) lo = min_duration(lo, ce_[k]);
+  return lo;
 }
 
 std::optional<Assignment> PartialSchedule::evaluate(
     std::uint32_t task_index, ProcessorId worker) const {
   RTDS_REQUIRE(task_index < batch_->size(), "evaluate: bad task index");
   RTDS_REQUIRE(worker < net_->num_workers(), "evaluate: bad worker id");
-  RTDS_REQUIRE(!assigned_[task_index], "evaluate: task already assigned");
+  RTDS_REQUIRE(!assigned(task_index), "evaluate: task already assigned");
 
-  const Task& t = (*batch_)[task_index];
   Assignment a;
-  a.task_index = task_index;
-  a.worker = worker;
-  a.exec_cost = t.processing + net_->comm_cost(t.affinity, worker);
-  a.prev_ce = ce_[worker];
-  // Execution cannot start before the task's start-time constraint; the
-  // worker idles until then (footnote 1 task model).
-  a.start_offset = a.prev_ce;
-  if (t.earliest_start > delivery_time_) {
-    a.start_offset =
-        max_duration(a.start_offset, t.earliest_start - delivery_time_);
-  }
-  a.end_offset = a.start_offset + a.exec_cost;
-
-  // Fig. 4: t_c + RQ_s(j) + se_lk <= d_l, with t_c + RQ_s == delivery_time.
-  if (delivery_time_ + a.end_offset > t.deadline) return std::nullopt;
+  if (!evaluate_fast(task_index, worker, a)) return std::nullopt;
   return a;
 }
 
+bool PartialSchedule::evaluate_fast(std::uint32_t task_index,
+                                    ProcessorId worker,
+                                    Assignment& out) const {
+  const TaskConstants& tc = constants_[task_index];
+
+  std::int64_t comm_us;
+  if ((tc.affinity_bits >> worker) & 1u) {
+    comm_us = 0;
+  } else if (cut_through_) {
+    // Same contract as Interconnect::comm_cost: a task with no data holder
+    // anywhere is a caller bug.
+    RTDS_REQUIRE(tc.affinity_bits != 0, "comm_cost: task has no data holder");
+    comm_us = comm_us_;
+  } else {
+    comm_us = net_->comm_cost((*batch_)[task_index].affinity, worker).us;
+  }
+
+  const std::int64_t prev_ce_us = ce_[worker].us;
+  // Execution cannot start before the task's start-time constraint; the
+  // worker idles until then (footnote 1 task model).
+  const std::int64_t start_us =
+      prev_ce_us > tc.es_off_us ? prev_ce_us : tc.es_off_us;
+  const std::int64_t end_us = start_us + tc.processing_us + comm_us;
+
+  // Fig. 4: t_c + RQ_s(j) + se_lk <= d_l, with t_c + RQ_s == delivery_time.
+  if (end_us > tc.d_off_us) return false;
+
+  out.task_index = task_index;
+  out.worker = worker;
+  out.exec_cost = SimDuration{tc.processing_us + comm_us};
+  out.prev_ce = SimDuration{prev_ce_us};
+  out.prev_max_ce = max_ce_;
+  out.start_offset = SimDuration{start_us};
+  out.end_offset = SimDuration{end_us};
+  return true;
+}
+
 void PartialSchedule::push(const Assignment& a) {
-  RTDS_ASSERT(!assigned_[a.task_index]);
+  RTDS_ASSERT(!assigned(a.task_index));
   RTDS_ASSERT(a.worker < ce_.size());
   // Integrity: the assignment must have been evaluated at this exact state.
   RTDS_ASSERT(ce_[a.worker] == a.prev_ce);
-  assigned_[a.task_index] = true;
+  RTDS_ASSERT(max_ce_ == a.prev_max_ce);
+  const std::uint32_t pos = pos_of(a.task_index);
+  unassigned_[pos >> 6] &= ~(std::uint64_t{1} << (pos & 63));
   ce_[a.worker] = a.end_offset;
-  max_ce_ = max_duration(max_ce_, ce_[a.worker]);
+  max_ce_ = max_duration(max_ce_, a.end_offset);
   path_.push_back(a);
 }
 
 void PartialSchedule::pop() {
   RTDS_REQUIRE(!path_.empty(), "pop: empty path");
-  const Assignment a = path_.back();
-  path_.pop_back();
-  assigned_[a.task_index] = false;
+  const Assignment& a = path_.back();
+  const std::uint32_t pos = pos_of(a.task_index);
+  unassigned_[pos >> 6] |= std::uint64_t{1} << (pos & 63);
   ce_[a.worker] = a.prev_ce;
-  // max_ce must be recomputed: the popped assignment may have defined it.
-  max_ce_ = SimDuration::zero();
-  for (SimDuration d : ce_) max_ce_ = max_duration(max_ce_, d);
+  // LIFO discipline means the pre-push CE recorded on the assignment is
+  // exactly the post-pop CE — no rescan needed.
+  max_ce_ = a.prev_max_ce;
+  path_.pop_back();
 }
 
 }  // namespace rtds::search

@@ -16,6 +16,20 @@
 // is T_l's end offset in P_k's queue. This is exactly the bound used in the
 // paper's correction theorem, and it is what makes scheduled tasks immune to
 // scheduling overhead: the whole quantum is charged up front.
+//
+// Hot-path layout (see docs/ARCHITECTURE.md "Search hot path"): the search
+// charges its entire vertex budget through evaluate/push/pop, so this class
+// keeps three flat arrays sized at construction and touches nothing else:
+//   * constants_ — per-task {p, earliest-start offset, deadline offset,
+//     affinity bits} in raw microseconds, so evaluation never dereferences
+//     the 56-byte Task or re-derives delivery-relative offsets;
+//   * ce_ — per-worker completion offsets (m contiguous 8-byte values);
+//   * unassigned_ — a 64-bit-word bitset over *consideration-order
+//     positions* (bit set = still unassigned), giving O(n/64) find-first
+//     scans instead of a std::vector<bool> walk.
+// Backtracking is O(1): every Assignment carries the undo values prev_ce and
+// prev_max_ce, so pop() restores both the worker's queue and CE without the
+// historical O(m) rescan.
 #pragma once
 
 #include <cstdint>
@@ -40,6 +54,11 @@ struct Assignment {
   /// undo value for backtracking (start-time constraints can insert idle
   /// gaps, so popping cannot simply subtract exec_cost).
   SimDuration prev_ce{SimDuration::zero()};
+  /// CE of the whole partial schedule when this assignment was evaluated —
+  /// the undo value that makes pop() O(1) instead of an O(m) rescan.
+  /// Valid because push/pop are strictly LIFO: the state after popping this
+  /// assignment is exactly the state in which it was evaluated.
+  SimDuration prev_max_ce{SimDuration::zero()};
   SimDuration start_offset{SimDuration::zero()};  ///< from delivery time
   SimDuration end_offset{SimDuration::zero()};    ///< se_lk, from delivery
 };
@@ -47,13 +66,32 @@ struct Assignment {
 /// Mutable path state for depth-first search with backtracking.
 class PartialSchedule {
  public:
-  /// `batch` must outlive this object. `base_loads[k]` is the worker's
-  /// residual load at delivery time: max(0, Load_k(j-1) - Q_s(j)).
-  /// `delivery_time` is t_s + Q_s(j), the time the schedule will reach the
-  /// ready queues. `net` prices c_lk.
+  /// Per-task constants hoisted out of the evaluation loop, in raw
+  /// microseconds relative to the delivery time.
+  struct TaskConstants {
+    std::int64_t processing_us{0};  ///< p_l
+    std::int64_t es_off_us{0};      ///< max(0, earliest_start - delivery)
+    std::int64_t d_off_us{0};       ///< deadline - delivery (may be < 0)
+    std::uint64_t affinity_bits{0};  ///< AffinitySet::raw()
+  };
+
+  /// `batch` must outlive this object and must not be mutated while it is
+  /// in use: task parameters are snapshotted into the per-task constants at
+  /// construction (delivery-relative offsets can only be precomputed once).
+  /// `base_loads[k]` is the worker's residual load at delivery time:
+  /// max(0, Load_k(j-1) - Q_s(j)). `delivery_time` is t_s + Q_s(j), the
+  /// time the schedule will reach the ready queues. `net` prices c_lk.
   PartialSchedule(const std::vector<Task>* batch,
                   std::vector<SimDuration> base_loads, SimTime delivery_time,
                   const machine::Interconnect* net);
+
+  /// Declares the consideration order the search iterates tasks in, so the
+  /// unassigned bitset lives in order-position space and find-first scans
+  /// return positions in heuristic order. `order` must be a permutation of
+  /// [0, batch_size) that outlives this object, or nullptr for the identity
+  /// order (the kBatchOrder fast path — no index vector needed at all).
+  /// Must be called before the first push.
+  void set_consideration_order(const std::uint32_t* order);
 
   [[nodiscard]] std::uint32_t depth() const {
     return static_cast<std::uint32_t>(path_.size());
@@ -63,9 +101,27 @@ class PartialSchedule {
   }
   [[nodiscard]] bool complete() const { return depth() == batch_size(); }
   [[nodiscard]] bool assigned(std::uint32_t task_index) const {
-    return assigned_[task_index];
+    const std::uint32_t pos =
+        pos_of_task_.empty() ? task_index : pos_of_task_[task_index];
+    return ((unassigned_[pos >> 6] >> (pos & 63)) & 1u) == 0;
   }
   [[nodiscard]] SimTime delivery_time() const { return delivery_time_; }
+
+  /// First consideration-order position >= `pos` holding an unassigned
+  /// task, or batch_size() when none. O(n/64) word scan.
+  [[nodiscard]] std::uint32_t first_unassigned_at_or_after(
+      std::uint32_t pos) const;
+
+  /// Task index at consideration-order position `pos`.
+  [[nodiscard]] std::uint32_t task_at(std::uint32_t pos) const {
+    return order_ == nullptr ? pos : order_[pos];
+  }
+
+  /// Raw unassigned bitset (bit = consideration-order position), for
+  /// zero-overhead iteration in the sequence-oriented expansion loop.
+  [[nodiscard]] const std::vector<std::uint64_t>& unassigned_words() const {
+    return unassigned_;
+  }
 
   /// Completion offset of worker k's queue (from delivery time).
   [[nodiscard]] SimDuration ce(ProcessorId k) const { return ce_[k]; }
@@ -74,30 +130,71 @@ class PartialSchedule {
   /// the maximum completion offset over all workers.
   [[nodiscard]] SimDuration max_ce() const { return max_ce_; }
 
+  /// Minimum completion offset over all workers — the lower bound used by
+  /// the engine's bulk infeasibility test. O(m).
+  [[nodiscard]] SimDuration min_ce() const;
+
+  /// Lower-bound infeasibility test over ALL workers at once: end offsets
+  /// are >= max(min_ce, es_off) + p (communication cost is non-negative),
+  /// so when that bound already misses the deadline every one of the m
+  /// placements is infeasible and the engine can charge the budget without
+  /// evaluating each. `min_ce` must be this schedule's current min_ce().
+  [[nodiscard]] bool task_unplaceable(std::uint32_t task_index,
+                                      SimDuration min_ce) const {
+    const TaskConstants& tc = constants_[task_index];
+    const std::int64_t start =
+        min_ce.us > tc.es_off_us ? min_ce.us : tc.es_off_us;
+    return start + tc.processing_us > tc.d_off_us;
+  }
+
+  [[nodiscard]] const TaskConstants& constants(std::uint32_t task_index) const {
+    return constants_[task_index];
+  }
+
   /// Evaluates the candidate vertex (T_l -> P_k): computes cost and end
   /// offset, and applies the feasibility test of Fig. 4. Returns nullopt
   /// when infeasible. Does not modify the schedule.
   [[nodiscard]] std::optional<Assignment> evaluate(
       std::uint32_t task_index, ProcessorId worker) const;
 
+  /// Precondition-free evaluation core for the search hot loop: same
+  /// arithmetic and feasibility test as evaluate(), but writes into `out`
+  /// (no optional) and validates nothing beyond debug assertions. Returns
+  /// true when feasible. Callers must guarantee task_index/worker are in
+  /// range and the task is unassigned.
+  bool evaluate_fast(std::uint32_t task_index, ProcessorId worker,
+                     Assignment& out) const;
+
   /// Extends the path by `a` (which must have come from evaluate() at the
   /// current state).
   void push(const Assignment& a);
 
-  /// Undoes the most recent assignment (backtracking).
+  /// Undoes the most recent assignment (backtracking). O(1): restores the
+  /// worker's queue offset and CE from the assignment's undo fields.
   void pop();
 
   /// Assignments along the current path, in path order.
   [[nodiscard]] const std::vector<Assignment>& path() const { return path_; }
 
  private:
+  [[nodiscard]] std::uint32_t pos_of(std::uint32_t task_index) const {
+    return pos_of_task_.empty() ? task_index : pos_of_task_[task_index];
+  }
+  void reset_unassigned_bits();
+
   const std::vector<Task>* batch_;
   const machine::Interconnect* net_;
   SimTime delivery_time_;
   std::vector<SimDuration> base_loads_;
   std::vector<SimDuration> ce_;
   SimDuration max_ce_{SimDuration::zero()};
-  std::vector<bool> assigned_;
+  std::vector<TaskConstants> constants_;
+  bool cut_through_{true};
+  std::int64_t comm_us_{0};  ///< constant C (cut-through model only)
+  /// Bit (per consideration-order position) set while unassigned.
+  std::vector<std::uint64_t> unassigned_;
+  const std::uint32_t* order_{nullptr};        ///< nullptr = identity
+  std::vector<std::uint32_t> pos_of_task_;     ///< empty = identity
   std::vector<Assignment> path_;
 };
 

@@ -1,0 +1,45 @@
+// Frozen pre-optimization snapshot of the search engine.
+//
+// This is the SearchEngine + PartialSchedule implementation exactly as it
+// stood before the hot-path overhaul (O(m) max_ce rescan on pop,
+// std::vector<bool> assigned map with a linear unassigned scan, per-expansion
+// heap allocations, std::stable_sort per successor group, std::push_heap
+// per best-first insertion). It exists for two reasons:
+//
+//   1. It is the *golden oracle* for the equivalence suite: the optimized
+//      engine must return a bit-identical SearchResult (schedule, stats,
+//      budget accounting) on every input, so any behavioral drift in the
+//      fast path shows up as a hard test failure, not a subtly different
+//      figure.
+//   2. It is the *perf baseline* for bench_search_throughput: both engines
+//      are compiled into the same binary and run on the same batches, so
+//      BENCH_SEARCH.json records a true before/after trajectory instead of
+//      numbers measured on different machines or commits.
+//
+// Do not "fix" or optimize this file — its value is that it does not move.
+// The only intentional delta from the historic code is that evaluation also
+// fills Assignment::prev_max_ce (a field added by the overhaul), computed
+// from this engine's own state, so results remain field-for-field
+// comparable.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/time.h"
+#include "machine/interconnect.h"
+#include "search/engine.h"
+#include "tasks/task.h"
+
+namespace rtds::search::reference {
+
+/// Runs one scheduling-phase search with the pre-optimization engine.
+/// Same contract as SearchEngine::run.
+[[nodiscard]] SearchResult run(const SearchConfig& config,
+                               const std::vector<Task>& batch,
+                               std::vector<SimDuration> base_loads,
+                               SimTime delivery_time,
+                               const machine::Interconnect& net,
+                               std::uint64_t vertex_budget);
+
+}  // namespace rtds::search::reference

@@ -42,9 +42,14 @@ TEST(StartTimeSearchTest, FeasibilityAccountsForIdleGap) {
   EXPECT_FALSE(ps.evaluate(0, 0).has_value());
 
   // Relax the constraint to 7ms: 7 + 3 = 10 <= 10, feasible, and the
-  // start/end offsets reflect the idle gap from the 1ms delivery.
+  // start/end offsets reflect the idle gap from the 1ms delivery. Task
+  // parameters are snapshotted when the PartialSchedule is built (the
+  // search hot path precomputes per-task constants), so evaluate through a
+  // fresh schedule.
   batch[0].earliest_start = SimTime::zero() + msec(7);
-  const auto a = ps.evaluate(0, 0);
+  search::PartialSchedule relaxed(&batch, {SimDuration::zero()},
+                                  SimTime::zero() + msec(1), &net);
+  const auto a = relaxed.evaluate(0, 0);
   ASSERT_TRUE(a.has_value());
   EXPECT_EQ(a->start_offset, msec(6));  // idles 6ms past delivery
   EXPECT_EQ(a->end_offset, msec(9));

@@ -9,6 +9,7 @@
 // On the first oracle violation it shrinks the scenario to a minimal
 // still-failing repro, prints both replay tokens, optionally writes them to
 // <artifact-dir>/failing_tokens.txt (uploaded by CI), and exits 1.
+#include <chrono>
 #include <cstdint>
 #include <cstdlib>
 #include <cstring>
@@ -146,6 +147,8 @@ int main(int argc, char** argv) {
   std::uint64_t threaded_runs = 0;
   std::uint64_t sharded_runs = 0;
   std::uint64_t total_tasks = 0;
+  std::uint64_t total_vertices = 0;
+  const auto sweep_start = std::chrono::steady_clock::now();
   for (std::uint64_t i = 0; i < args.scenarios; ++i) {
     const rtds::testing::Scenario scenario =
         rtds::testing::generate_scenario(args.seed, i);
@@ -159,14 +162,32 @@ int main(int argc, char** argv) {
     threaded_runs += result.threaded_ran ? 1 : 0;
     sharded_runs += result.shard_runs.empty() ? 0 : 1;
     total_tasks += result.sim.metrics.total_tasks;
+    total_vertices += result.sim.metrics.vertices_generated;
     if ((i + 1) % 100 == 0) {
       std::cerr << "  " << (i + 1) << "/" << args.scenarios
                 << " scenarios clean\n";
     }
   }
+  const double sweep_secs =
+      std::chrono::duration_cast<std::chrono::duration<double>>(
+          std::chrono::steady_clock::now() - sweep_start)
+          .count();
   std::cout << "rtds_fuzz: " << args.scenarios << " scenarios (seed 0x"
             << std::hex << args.seed << std::dec << "), " << total_tasks
             << " tasks, " << threaded_runs << " threaded runs, "
             << sharded_runs << " sharded runs — all oracles passed\n";
+  std::cout << "rtds_fuzz: " << total_vertices
+            << " search vertices generated, ";
+  if (sweep_secs > 0) {
+    std::cout << static_cast<std::uint64_t>(double(args.scenarios) /
+                                            sweep_secs)
+              << " scenarios/sec (" << args.scenarios << " in ";
+  } else {
+    std::cout << "? scenarios/sec (" << args.scenarios << " in ";
+  }
+  std::cout.setf(std::ios::fixed);
+  std::cout.precision(2);
+  std::cout << sweep_secs << "s)\n";
+  std::cout.unsetf(std::ios::fixed);
   return 0;
 }
