@@ -14,7 +14,6 @@
 
 #include "bench_util.h"
 #include "exp/table.h"
-#include "sched/presets.h"
 
 int main() {
   using namespace rtds;
@@ -26,11 +25,11 @@ int main() {
 
   const std::vector<std::unique_ptr<sched::PhaseAlgorithm>> algos = [] {
     std::vector<std::unique_ptr<sched::PhaseAlgorithm>> v;
-    v.push_back(sched::make_rt_sads());
-    v.push_back(sched::make_d_cols());
-    v.push_back(sched::make_edf_best_fit());
-    v.push_back(sched::make_edf_first_fit());
-    v.push_back(sched::make_myopic(5));
+    v.push_back(make_algo("rt_sads"));
+    v.push_back(make_algo("d_cols"));
+    v.push_back(make_algo("edf_bf"));
+    v.push_back(make_algo("edf_ff"));
+    v.push_back(make_algo("myopic"));
     return v;
   }();
 

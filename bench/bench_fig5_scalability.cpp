@@ -10,7 +10,6 @@
 #include <iostream>
 
 #include "bench_util.h"
-#include "sched/presets.h"
 
 int main() {
   using namespace rtds;
@@ -20,8 +19,8 @@ int main() {
                "Figure 5 (R=30%, SF=1, 1000 bursty transactions)",
                "RT-SADS rises with m; D-COLS stays nearly flat; gap widens");
 
-  const auto rt_sads = sched::make_rt_sads();
-  const auto d_cols = sched::make_d_cols();
+  const auto rt_sads = make_algo("rt_sads");
+  const auto d_cols = make_algo("d_cols");
 
   Series rt{"RT-SADS", {}};
   Series dc{"D-COLS", {}};

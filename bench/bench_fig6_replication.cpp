@@ -10,7 +10,6 @@
 
 #include "bench_util.h"
 #include "exp/table.h"
-#include "sched/presets.h"
 
 int main() {
   using namespace rtds;
@@ -20,8 +19,8 @@ int main() {
                "Figure 6 (P=10, SF=1, 1000 bursty transactions)",
                "both rise with R; D-COLS gains more; RT-SADS stays ahead");
 
-  const auto rt_sads = sched::make_rt_sads();
-  const auto d_cols = sched::make_d_cols();
+  const auto rt_sads = make_algo("rt_sads");
+  const auto d_cols = make_algo("d_cols");
 
   Series rt{"RT-SADS", {}};
   Series dc{"D-COLS", {}};

@@ -14,12 +14,10 @@
 #include "bench_util.h"
 #include "exp/table.h"
 #include "sched/algorithm.h"
-#include "sched/presets.h"
 
 int main() {
   using namespace rtds;
   using namespace rtds::bench;
-  using search::ProcessorOrder;
   using search::Representation;
   using search::SearchConfig;
   using search::TaskOrder;
@@ -46,13 +44,10 @@ int main() {
   };
 
   // --- RT-SADS family -------------------------------------------------------
-  run_with(*sched::make_rt_sads());
-  run_with(*sched::make_rt_sads_no_cost_function(
-      ProcessorOrder::kMinEndOffset));
-  run_with(*sched::make_rt_sads_no_cost_function(
-      ProcessorOrder::kMinCommCost));
-  run_with(
-      *sched::make_rt_sads_no_cost_function(ProcessorOrder::kIndexOrder));
+  run_with(*make_algo("rt_sads"));
+  run_with(*make_algo("rt_sads?cost=off"));
+  run_with(*make_algo("rt_sads?cost=off&order=min_comm"));
+  run_with(*make_algo("rt_sads?cost=off&order=index"));
   {
     SearchConfig cfg;
     cfg.representation = Representation::kAssignmentOriented;
@@ -76,7 +71,7 @@ int main() {
   }
 
   // --- D-COLS family --------------------------------------------------------
-  run_with(*sched::make_d_cols());
+  run_with(*make_algo("d_cols"));
   {
     SearchConfig cfg;
     cfg.representation = Representation::kSequenceOriented;
@@ -85,9 +80,9 @@ int main() {
     const sched::TreeSearchAlgorithm algo("D-COLS/strict-rr", cfg);
     run_with(algo);
   }
-  run_with(*sched::make_d_cols_least_loaded());
-  run_with(*sched::make_d_cols_pruned(4));
-  run_with(*sched::make_d_cols_pruned(16));
+  run_with(*make_algo("d_cols?level_order=least_loaded"));
+  run_with(*make_algo("d_cols?max_successors=4"));
+  run_with(*make_algo("d_cols?max_successors=16"));
   {
     // Sequence-oriented but WITH the CE cost function: how much of the gap
     // is representation vs cost model.

@@ -18,7 +18,6 @@
 #include "machine/cluster.h"
 #include "sched/backend.h"
 #include "sched/pipeline.h"
-#include "sched/presets.h"
 #include "sim/simulator.h"
 
 namespace {
@@ -73,8 +72,8 @@ int main() {
                "Sec. 2 cut-through assumption on the Figure-5 headline cell",
                "larger C widens the RT-SADS lead; mesh ~ larger effective C");
 
-  const auto rt_sads = sched::make_rt_sads();
-  const auto d_cols = sched::make_d_cols();
+  const auto rt_sads = make_algo("rt_sads");
+  const auto d_cols = make_algo("d_cols");
 
   exp::ExperimentConfig cfg;
   cfg.num_workers = 10;

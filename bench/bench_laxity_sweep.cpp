@@ -12,7 +12,6 @@
 
 #include "bench_util.h"
 #include "exp/table.h"
-#include "sched/presets.h"
 
 int main() {
   using namespace rtds;
@@ -22,8 +21,8 @@ int main() {
                "Sec. 5.1 experiment grid (R=30%, SF in {1,2,3})",
                "compliance rises with SF; RT-SADS >= D-COLS everywhere");
 
-  const auto rt_sads = sched::make_rt_sads();
-  const auto d_cols = sched::make_d_cols();
+  const auto rt_sads = make_algo("rt_sads");
+  const auto d_cols = make_algo("d_cols");
 
   exp::TextTable table(
       {"SF", "m", "RT-SADS hit%", "±ci", "D-COLS hit%", "±ci", "ratio"});

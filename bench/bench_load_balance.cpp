@@ -17,7 +17,6 @@
 #include "machine/cluster.h"
 #include "sched/backend.h"
 #include "sched/pipeline.h"
-#include "sched/presets.h"
 #include "sim/simulator.h"
 
 int main() {
@@ -37,9 +36,8 @@ int main() {
   exp::TextTable table({"scheduler", "hit%", "busy mean (ms)",
                         "busy min..max (ms)", "imbalance", "idle workers",
                         "p50 margin (ms)"});
-  for (const auto& factory :
-       {sched::make_rt_sads, sched::make_d_cols, sched::make_edf_best_fit}) {
-    const auto algo = factory();
+  for (const char* spec : {"rt_sads", "d_cols", "edf_bf"}) {
+    const auto algo = make_algo(spec);
     Xoshiro256ss rng(bench::bench_seed(cfg.base_seed, "load-balance", 0));
     const db::GlobalDatabase database(cfg.database, rng);
     const db::Placement placement = db::Placement::rotation(

@@ -15,17 +15,17 @@
 #include "common/rng.h"
 #include "exp/table.h"
 #include "sched/partitioned.h"
-#include "sched/presets.h"
 #include "sched/quantum.h"
 #include "tasks/workload.h"
 
 namespace {
 
 using namespace rtds;
+using rtds::bench::make_algo;
 
 double mean_hit(std::uint32_t shards, std::uint32_t workers,
                 std::uint32_t reps) {
-  const auto algo = sched::make_rt_sads();
+  const auto algo = make_algo("rt_sads");
   const auto quantum =
       sched::make_self_adjusting_quantum(usec(100), msec(20));
   RunningStats s;

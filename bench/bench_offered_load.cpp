@@ -17,7 +17,6 @@
 #include "machine/cluster.h"
 #include "sched/backend.h"
 #include "sched/pipeline.h"
-#include "sched/presets.h"
 #include "sim/simulator.h"
 #include "tasks/workload.h"
 
@@ -71,8 +70,8 @@ int main() {
                "extension of Sec. 5: Poisson arrivals instead of one burst",
                "both near 100% at low load; D-COLS's knee comes far earlier");
 
-  const auto rt_sads = sched::make_rt_sads();
-  const auto d_cols = sched::make_d_cols();
+  const auto rt_sads = make_algo("rt_sads");
+  const auto d_cols = make_algo("d_cols");
 
   exp::TextTable table({"offered load", "RT-SADS hit%", "D-COLS hit%"});
   for (double rho : {0.2, 0.4, 0.6, 0.8, 1.0, 1.2}) {

@@ -12,7 +12,6 @@
 
 #include "bench_util.h"
 #include "exp/table.h"
-#include "sched/presets.h"
 
 int main() {
   using namespace rtds;
@@ -22,7 +21,7 @@ int main() {
                "Sec. 4.2 (criterion of Fig. 3) on the Figure-5 headline cell",
                "self-adjusting ~= best fixed quantum, without tuning");
 
-  const auto rt_sads = sched::make_rt_sads();
+  const auto rt_sads = make_algo("rt_sads");
 
   exp::TextTable table({"quantum policy", "hit%", "±ci", "phases",
                         "mean Q_s (ms)", "sched time (ms)"});

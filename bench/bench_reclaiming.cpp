@@ -16,7 +16,6 @@
 
 #include "bench_util.h"
 #include "exp/table.h"
-#include "sched/presets.h"
 
 int main() {
   using namespace rtds;
@@ -26,8 +25,8 @@ int main() {
                "extension: ref [3] of the paper, on the Figure-5 sweep",
                "reclaiming lifts compliance for both algorithms, never hurts");
 
-  const auto rt_sads = sched::make_rt_sads();
-  const auto d_cols = sched::make_d_cols();
+  const auto rt_sads = make_algo("rt_sads");
+  const auto d_cols = make_algo("d_cols");
 
   exp::TextTable table({"m", "RT-SADS wc%", "RT-SADS reclaim%",
                         "D-COLS wc%", "D-COLS reclaim%"});

@@ -8,14 +8,25 @@
 
 #include <cstdint>
 #include <iostream>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "common/rng.h"
 #include "exp/experiment.h"
 #include "exp/table.h"
+#include "sched/registry.h"
 
 namespace rtds::bench {
+
+/// Builds a portfolio member from its registry spec — the ONE way benches
+/// construct algorithms, so every bench accepts the same spec strings as
+/// rtds_fuzz --algo and the tournament, and a spec typo fails loudly at
+/// startup instead of silently benchmarking the wrong configuration.
+inline std::unique_ptr<sched::PhaseAlgorithm> make_algo(
+    const std::string& spec) {
+  return sched::AlgorithmRegistry::builtin().make(spec);
+}
 
 /// Workload seed for repetition `rep` of the named bench: a named rng
 /// substream off `base` (common/rng.h). All benches derive their seeds

@@ -15,19 +15,20 @@ TreeSearchAlgorithm::TreeSearchAlgorithm(std::string name,
     : name_(std::move(name)), engine_(config) {}
 
 SearchResult TreeSearchAlgorithm::schedule_phase(
-    const std::vector<Task>& batch, std::vector<SimDuration> base_loads,
-    SimTime delivery_time, const machine::Interconnect& net,
-    std::uint64_t vertex_budget) const {
-  return engine_.run(batch, std::move(base_loads), delivery_time, net,
-                     vertex_budget);
+    const std::vector<Task>& batch,
+    const std::vector<SimDuration>& base_loads, SimTime delivery_time,
+    const machine::Interconnect& net, std::uint64_t vertex_budget) const {
+  return engine_.run(batch, base_loads, delivery_time, net, vertex_budget);
 }
 
-GreedyAlgorithm::GreedyAlgorithm(GreedyKind kind, std::uint32_t window)
-    : kind_(kind), window_(window) {
+GreedyAlgorithm::GreedyAlgorithm(GreedyKind kind, std::uint32_t window,
+                                 std::string name)
+    : kind_(kind), window_(window), name_(std::move(name)) {
   RTDS_REQUIRE(window_ >= 1, "GreedyAlgorithm: window must be >= 1");
 }
 
 std::string GreedyAlgorithm::name() const {
+  if (!name_.empty()) return name_;
   switch (kind_) {
     case GreedyKind::kEdfFirstFit:
       return "edf-first-fit";
@@ -40,14 +41,14 @@ std::string GreedyAlgorithm::name() const {
 }
 
 SearchResult GreedyAlgorithm::schedule_phase(
-    const std::vector<Task>& batch, std::vector<SimDuration> base_loads,
-    SimTime delivery_time, const machine::Interconnect& net,
-    std::uint64_t vertex_budget) const {
+    const std::vector<Task>& batch,
+    const std::vector<SimDuration>& base_loads, SimTime delivery_time,
+    const machine::Interconnect& net, std::uint64_t vertex_budget) const {
   SearchResult result;
   if (batch.empty() || vertex_budget == 0) return result;
 
   const std::uint32_t m = net.num_workers();
-  PartialSchedule ps(&batch, std::move(base_loads), delivery_time, &net);
+  PartialSchedule ps(&batch, base_loads, delivery_time, &net);
   const std::vector<std::uint32_t> order = search::task_consideration_order(
       batch, search::TaskOrder::kEarliestDeadline);
 

@@ -36,13 +36,17 @@ class PhaseAlgorithm {
 
   /// Produces a feasible schedule for `batch`.
   ///
-  /// `base_loads[k]` — residual worker load at delivery time;
+  /// `base_loads[k]` — residual worker load at delivery time (borrowed for
+  ///                   the duration of the call; implementations snapshot
+  ///                   what they need, so backends reuse one buffer across
+  ///                   phases instead of copying per phase);
   /// `delivery_time` — when the schedule will reach the ready queues
   ///                   (t_s + Q_s);
   /// `vertex_budget` — maximum candidate evaluations allowed.
   [[nodiscard]] virtual SearchResult schedule_phase(
-      const std::vector<Task>& batch, std::vector<SimDuration> base_loads,
-      SimTime delivery_time, const machine::Interconnect& net,
+      const std::vector<Task>& batch,
+      const std::vector<SimDuration>& base_loads, SimTime delivery_time,
+      const machine::Interconnect& net,
       std::uint64_t vertex_budget) const = 0;
 
   [[nodiscard]] virtual std::string name() const = 0;
@@ -54,8 +58,9 @@ class TreeSearchAlgorithm final : public PhaseAlgorithm {
   TreeSearchAlgorithm(std::string name, search::SearchConfig config);
 
   [[nodiscard]] SearchResult schedule_phase(
-      const std::vector<Task>& batch, std::vector<SimDuration> base_loads,
-      SimTime delivery_time, const machine::Interconnect& net,
+      const std::vector<Task>& batch,
+      const std::vector<SimDuration>& base_loads, SimTime delivery_time,
+      const machine::Interconnect& net,
       std::uint64_t vertex_budget) const override;
   [[nodiscard]] std::string name() const override { return name_; }
 
@@ -79,18 +84,22 @@ enum class GreedyKind {
 class GreedyAlgorithm final : public PhaseAlgorithm {
  public:
   /// `window` is the myopic feasibility-window size W (ignored by the EDF
-  /// variants).
-  explicit GreedyAlgorithm(GreedyKind kind, std::uint32_t window = 5);
+  /// variants). A non-empty `name` overrides the kind-derived default —
+  /// the registry passes the canonical spec so name() round-trips.
+  explicit GreedyAlgorithm(GreedyKind kind, std::uint32_t window = 5,
+                           std::string name = "");
 
   [[nodiscard]] SearchResult schedule_phase(
-      const std::vector<Task>& batch, std::vector<SimDuration> base_loads,
-      SimTime delivery_time, const machine::Interconnect& net,
+      const std::vector<Task>& batch,
+      const std::vector<SimDuration>& base_loads, SimTime delivery_time,
+      const machine::Interconnect& net,
       std::uint64_t vertex_budget) const override;
   [[nodiscard]] std::string name() const override;
 
  private:
   GreedyKind kind_;
   std::uint32_t window_;
+  std::string name_;
 };
 
 }  // namespace rtds::sched

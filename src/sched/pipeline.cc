@@ -32,6 +32,7 @@ RunMetrics PhasePipeline::run(const std::vector<Task>& workload,
   }
 
   RunMetrics metrics;
+  metrics.algorithm = algorithm_.name();
   metrics.total_tasks = workload.size();
   if (workload.empty()) {
     metrics.finish_time = backend.now();
@@ -47,6 +48,8 @@ RunMetrics PhasePipeline::run(const std::vector<Task>& workload,
   std::size_t cursor = 0;
   const SimDuration vcost = config_.vertex_generation_cost;
   const std::uint32_t num_workers = backend.num_workers();
+  // Reused across phases: schedule_phase borrows it by const reference.
+  std::vector<SimDuration> base_loads(num_workers);
   // Deliveries refused so far, per task: a task whose budget is spent is
   // retired as rejected instead of readmitted.
   std::unordered_map<tasks::TaskId, std::uint32_t> delivery_attempts;
@@ -73,6 +76,7 @@ RunMetrics PhasePipeline::run(const std::vector<Task>& workload,
     metrics.culled += culled_tasks.size();
 
     PhaseRecord record;
+    record.algorithm = metrics.algorithm;
     record.index = metrics.phases;
     record.start = t;
     record.arrivals = arrived.size();
@@ -112,7 +116,6 @@ RunMetrics PhasePipeline::run(const std::vector<Task>& workload,
     // Worker loads as seen at the planned delivery time t_s + Q_s: the
     // workers drain previous schedules while this phase runs (Sec. 4.4).
     const SimTime planned_delivery = t + quantum;
-    std::vector<SimDuration> base_loads(num_workers);
     for (std::uint32_t k = 0; k < num_workers; ++k) {
       const SimDuration load = backend.load(k, t);
       base_loads[k] =
@@ -121,8 +124,8 @@ RunMetrics PhasePipeline::run(const std::vector<Task>& workload,
 
     const auto search_start = std::chrono::steady_clock::now();
     const SearchResult result = algorithm_.schedule_phase(
-        batch.tasks(), std::move(base_loads), planned_delivery,
-        backend.interconnect(), budget);
+        batch.tasks(), base_loads, planned_delivery, backend.interconnect(),
+        budget);
     const auto search_wall_ns = static_cast<std::uint64_t>(
         std::chrono::duration_cast<std::chrono::nanoseconds>(
             std::chrono::steady_clock::now() - search_start)

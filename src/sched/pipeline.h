@@ -25,6 +25,7 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "common/time.h"
@@ -43,6 +44,11 @@ using tasks::Task;
 /// by the DES, threaded and partitioned deployments, so runs are directly
 /// comparable across backends.
 struct RunMetrics {
+  /// Canonical spec of the algorithm that produced this run (the
+  /// PhaseAlgorithm's name()) — every run is attributable by name, and the
+  /// cross-backend parity oracles compare it like any other field.
+  std::string algorithm;
+
   std::uint64_t total_tasks{0};
   std::uint64_t scheduled{0};        ///< delivered to a worker
   std::uint64_t deadline_hits{0};    ///< executed and met deadline

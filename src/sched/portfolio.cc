@@ -1,0 +1,209 @@
+#include "sched/portfolio.h"
+
+#include <algorithm>
+#include <cstdint>
+
+#include "common/error.h"
+#include "search/partial_schedule.h"
+
+namespace rtds::sched {
+
+using search::Assignment;
+using search::PartialSchedule;
+
+namespace {
+
+/// Density compare without division: p_a/span_a > p_b/span_b as a
+/// cross-multiplication in 128-bit (microsecond magnitudes squared can
+/// exceed 63 bits on long-horizon workloads).
+bool denser(std::int64_t p_a, std::int64_t span_a, std::int64_t p_b,
+            std::int64_t span_b) {
+  return static_cast<__int128>(p_a) * span_b >
+         static_cast<__int128>(p_b) * span_a;
+}
+
+}  // namespace
+
+PartitionScheduler::PartitionScheduler(std::string name,
+                                       PartitionConfig config)
+    : name_(std::move(name)), config_(config) {}
+
+SearchResult PartitionScheduler::schedule_phase(
+    const std::vector<Task>& batch,
+    const std::vector<SimDuration>& base_loads, SimTime delivery_time,
+    const machine::Interconnect& net, std::uint64_t vertex_budget) const {
+  SearchResult result;
+  if (batch.empty() || vertex_budget == 0) return result;
+
+  const std::uint32_t m = net.num_workers();
+  const std::uint32_t n = static_cast<std::uint32_t>(batch.size());
+  PartialSchedule ps(&batch, base_loads, delivery_time, &net);
+
+  std::uint64_t budget_left = vertex_budget;
+  auto& stats = result.stats;
+  const auto charge = [&]() -> bool {
+    if (budget_left == 0) {
+      stats.budget_exhausted = true;
+      return false;
+    }
+    --budget_left;
+    ++stats.vertices_generated;
+    return true;
+  };
+
+  // ---- Pass 1: partition tasks to workers over ESTIMATED queue loads. ----
+  // The estimate uses the same delivery-relative arithmetic as the Fig. 4
+  // test (start = max(load, es), end = start + p + c_lk, feasible iff
+  // end <= d), so a pass-1 placement is exactly the assignment the
+  // sequencing pass would commit if the worker's queue were consumed in
+  // partition order. EDF re-sequencing in pass 2 can only shuffle a
+  // worker's internal order, so the final commit re-checks feasibility.
+  std::vector<std::uint32_t> order(n);
+  for (std::uint32_t i = 0; i < n; ++i) order[i] = i;
+  const auto span_of = [&](std::uint32_t i) -> std::int64_t {
+    const auto& tc = ps.constants(i);
+    const std::int64_t span = tc.d_off_us - tc.es_off_us;
+    return span > 1 ? span : 1;
+  };
+  switch (config_.sort) {
+    case PartitionSort::kDensity:
+      std::sort(order.begin(), order.end(),
+                [&](std::uint32_t a, std::uint32_t b) {
+                  const auto& ta = ps.constants(a);
+                  const auto& tb = ps.constants(b);
+                  if (denser(ta.processing_us, span_of(a), tb.processing_us,
+                             span_of(b)))
+                    return true;
+                  if (denser(tb.processing_us, span_of(b), ta.processing_us,
+                             span_of(a)))
+                    return false;
+                  return a < b;
+                });
+      break;
+    case PartitionSort::kDeadline:
+      std::sort(order.begin(), order.end(),
+                [&](std::uint32_t a, std::uint32_t b) {
+                  const std::int64_t da = ps.constants(a).d_off_us;
+                  const std::int64_t db = ps.constants(b).d_off_us;
+                  return da != db ? da < db : a < b;
+                });
+      break;
+    case PartitionSort::kMinSlack:
+      std::sort(order.begin(), order.end(),
+                [&](std::uint32_t a, std::uint32_t b) {
+                  const auto& ta = ps.constants(a);
+                  const auto& tb = ps.constants(b);
+                  const std::int64_t sa =
+                      ta.d_off_us - ta.es_off_us - ta.processing_us;
+                  const std::int64_t sb =
+                      tb.d_off_us - tb.es_off_us - tb.processing_us;
+                  return sa != sb ? sa < sb : a < b;
+                });
+      break;
+    case PartitionSort::kLpt:
+      std::sort(order.begin(), order.end(),
+                [&](std::uint32_t a, std::uint32_t b) {
+                  const std::int64_t pa = ps.constants(a).processing_us;
+                  const std::int64_t pb = ps.constants(b).processing_us;
+                  return pa != pb ? pa > pb : a < b;
+                });
+      break;
+  }
+
+  constexpr std::uint32_t kUnassigned = 0xFFFFFFFFu;
+  std::vector<std::uint32_t> home(n, kUnassigned);
+  std::vector<std::int64_t> est(m);
+  for (std::uint32_t k = 0; k < m; ++k) est[k] = base_loads[k].us;
+
+  // Estimated end offset of placing task i on worker k, or -1 when the
+  // placement fails the deadline-capacity fit test. Charges one budget
+  // unit per probe (a fit test is a candidate evaluation, Sec. 4.1).
+  const auto probe = [&](std::uint32_t i, std::uint32_t k) -> std::int64_t {
+    const auto& tc = ps.constants(i);
+    const std::int64_t comm = net.comm_cost(batch[i].affinity, k).us;
+    const std::int64_t start = est[k] > tc.es_off_us ? est[k] : tc.es_off_us;
+    const std::int64_t end = start + tc.processing_us + comm;
+    return end <= tc.d_off_us ? end : -1;
+  };
+
+  std::uint32_t cursor = 0;  // kNextFit's rolling worker cursor
+  for (std::uint32_t i : order) {
+    if (stats.budget_exhausted) break;
+    std::uint32_t chosen = kUnassigned;
+    std::int64_t chosen_end = 0;
+    switch (config_.fit) {
+      case PartitionFit::kFirstFit:
+        for (std::uint32_t k = 0; k < m && charge(); ++k) {
+          if (const std::int64_t end = probe(i, k); end >= 0) {
+            chosen = k;
+            chosen_end = end;
+            break;
+          }
+        }
+        break;
+      case PartitionFit::kBestFit:
+        for (std::uint32_t k = 0; k < m && charge(); ++k) {
+          if (const std::int64_t end = probe(i, k); end >= 0) {
+            if (chosen == kUnassigned || end < chosen_end) {
+              chosen = k;
+              chosen_end = end;
+            }
+          }
+        }
+        break;
+      case PartitionFit::kWorstFit:
+        for (std::uint32_t k = 0; k < m && charge(); ++k) {
+          if (const std::int64_t end = probe(i, k); end >= 0) {
+            if (chosen == kUnassigned || est[k] < est[chosen]) {
+              chosen = k;
+              chosen_end = end;
+            }
+          }
+        }
+        break;
+      case PartitionFit::kNextFit:
+        for (std::uint32_t step = 0; step < m && charge(); ++step) {
+          const std::uint32_t k = (cursor + step) % m;
+          if (const std::int64_t end = probe(i, k); end >= 0) {
+            chosen = k;
+            chosen_end = end;
+            cursor = (k + 1) % m;
+            break;
+          }
+        }
+        break;
+    }
+    if (chosen != kUnassigned && !stats.budget_exhausted) {
+      home[i] = chosen;
+      est[chosen] = chosen_end;
+    }
+  }
+
+  // ---- Pass 2: sequence each worker's share by EDF and commit through ----
+  // the predictive feasibility test. A task whose pass-1 estimate no
+  // longer holds after EDF re-ordering is skipped, never scheduled late —
+  // this is what keeps the correction theorem intact.
+  std::vector<std::uint32_t> share(order.begin(), order.end());
+  std::sort(share.begin(), share.end(),
+            [&](std::uint32_t a, std::uint32_t b) {
+              if (home[a] != home[b]) return home[a] < home[b];
+              const std::int64_t da = ps.constants(a).d_off_us;
+              const std::int64_t db = ps.constants(b).d_off_us;
+              return da != db ? da < db : a < b;
+            });
+  for (std::uint32_t i : share) {
+    if (home[i] == kUnassigned) continue;  // sorted last; rest are too
+    if (!charge()) break;
+    if (const auto a = ps.evaluate(i, home[i])) {
+      ps.push(*a);
+      ++stats.expansions;
+    }
+  }
+
+  stats.max_depth = ps.depth();
+  stats.reached_leaf = ps.complete();
+  result.schedule = ps.path();
+  return result;
+}
+
+}  // namespace rtds::sched

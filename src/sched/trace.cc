@@ -12,7 +12,8 @@ void PhaseTraceRecorder::write_csv(std::ostream& os) const {
   os << "phase,start_us,end_us,batch,arrivals,culled,min_slack_us,"
         "min_load_us,quantum_us,budget,floor_override,vertices,expansions,"
         "backtracks,max_depth,dead_end,leaf,budget_exhausted,scheduled,"
-        "delivered,overflow_drops,readmitted,rejected,search_wall_ns\n";
+        "delivered,overflow_drops,readmitted,rejected,search_wall_ns,"
+        "algorithm\n";
   for (const PhaseRecord& r : records_) {
     os << r.index << ',' << r.start.us << ',' << r.end.us << ','
        << r.batch_size << ',' << r.arrivals << ',' << r.culled << ','
@@ -25,7 +26,8 @@ void PhaseTraceRecorder::write_csv(std::ostream& os) const {
        << (r.search.reached_leaf ? 1 : 0) << ','
        << (r.search.budget_exhausted ? 1 : 0) << ',' << r.scheduled << ','
        << r.delivered << ',' << r.overflow_drops << ',' << r.readmitted
-       << ',' << r.rejected << ',' << r.search_wall_ns << '\n';
+       << ',' << r.rejected << ',' << r.search_wall_ns << ','
+       << r.algorithm << '\n';
   }
 }
 

@@ -9,6 +9,7 @@
 
 #include <cstdint>
 #include <iosfwd>
+#include <string>
 #include <vector>
 
 #include "common/time.h"
@@ -18,6 +19,11 @@ namespace rtds::sched {
 
 /// Everything that happened in one scheduling phase.
 struct PhaseRecord {
+  /// Canonical spec of the algorithm that ran this phase (constant across a
+  /// run; repeated per record so a trace file is self-describing even when
+  /// traces from several runs are concatenated).
+  std::string algorithm;
+
   std::uint64_t index{0};
   SimTime start{SimTime::zero()};
   SimTime end{SimTime::zero()};

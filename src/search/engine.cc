@@ -194,7 +194,7 @@ std::vector<std::uint32_t> task_consideration_order(
 SearchEngine::SearchEngine(SearchConfig config) : config_(config) {}
 
 SearchResult SearchEngine::run(const std::vector<Task>& batch,
-                               std::vector<SimDuration> base_loads,
+                               const std::vector<SimDuration>& base_loads,
                                SimTime delivery_time,
                                const machine::Interconnect& net,
                                std::uint64_t vertex_budget) const {
@@ -217,7 +217,7 @@ SearchResult SearchEngine::run(const std::vector<Task>& batch,
   }
   const std::uint32_t* order = ws.order.empty() ? nullptr : ws.order.data();
 
-  PartialSchedule ps(&batch, std::move(base_loads), delivery_time, &net);
+  PartialSchedule ps(&batch, base_loads, delivery_time, &net);
   ps.set_consideration_order(order);
 
   ws.arena.clear();

@@ -169,7 +169,7 @@ class SearchEngine {
   /// the search loop performs no heap allocation after the first phases on
   /// a thread (docs/ARCHITECTURE.md, "Search hot path").
   [[nodiscard]] SearchResult run(const std::vector<Task>& batch,
-                                 std::vector<SimDuration> base_loads,
+                                 const std::vector<SimDuration>& base_loads,
                                  SimTime delivery_time,
                                  const machine::Interconnect& net,
                                  std::uint64_t vertex_budget) const;

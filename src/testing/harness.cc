@@ -11,8 +11,8 @@
 #include "sched/backend.h"
 #include "sched/partitioned.h"
 #include "sched/pipeline.h"
-#include "sched/presets.h"
 #include "sched/quantum.h"
+#include "sched/registry.h"
 #include "sim/simulator.h"
 #include "testing/fault_injection.h"
 
@@ -20,8 +20,9 @@ namespace rtds::testing {
 namespace {
 
 std::unique_ptr<sched::PhaseAlgorithm> make_algorithm(const Scenario& s) {
-  return s.algorithm == kAlgoDCols ? sched::make_d_cols()
-                                   : sched::make_rt_sads();
+  // A malformed spec throws InvalidArgument, which run_scenario surfaces as
+  // a harness violation — a fuzz token naming a bad algorithm fails loudly.
+  return sched::AlgorithmRegistry::builtin().make(s.algo_spec);
 }
 
 std::unique_ptr<sched::QuantumPolicy> make_quantum(const Scenario& s) {
@@ -131,7 +132,16 @@ ScenarioResult run_scenario(const Scenario& scenario,
                                            ? machine::ReclaimMode::kReclaim
                                            : machine::ReclaimMode::kWorstCase;
   const SimDuration comm = usec(scenario.comm_cost_us);
-  const auto algorithm = make_algorithm(scenario);
+  std::unique_ptr<sched::PhaseAlgorithm> algorithm;
+  try {
+    algorithm = make_algorithm(scenario);
+  } catch (const Error& e) {
+    // A replayed token can name a spec this build's registry rejects
+    // (typo'd by hand, or from a different version) — report, don't crash.
+    result.violations.push_back(std::string("harness(algorithm): ") +
+                                e.what());
+    return result;
+  }
   const auto quantum = make_quantum(scenario);
   const sched::PipelineConfig des_config = pipeline_config(scenario, false);
 

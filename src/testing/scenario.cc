@@ -2,13 +2,14 @@
 
 #include <charconv>
 #include <sstream>
+#include <type_traits>
 
 #include "common/error.h"
 
 namespace rtds::testing {
 namespace {
 
-constexpr char kTokenPrefix[] = "rtds1";
+constexpr char kTokenPrefix[] = "rtds2";
 constexpr std::uint64_t kWorkloadStream = stream_id("fuzz.workload");
 constexpr std::uint64_t kScenarioStream = stream_id("fuzz.scenario");
 
@@ -43,7 +44,7 @@ void visit_fields(S& s, F&& f) {
   f(s.min_quantum_us);
   f(s.max_quantum_us);
   f(s.fixed_quantum_us);
-  f(s.algorithm);
+  f(s.algo_spec);
   f(s.refusal_period);
   f(s.mailbox_capacity);
   f(s.delivery_retries);
@@ -156,7 +157,21 @@ Scenario generate_scenario(std::uint64_t base_seed, std::uint64_t index) {
   s.fixed_quantum_us = rng.uniform_int(200, 20000);
 
   // -- algorithm -------------------------------------------------------------
-  s.algorithm = rng.bernoulli(0.3) ? kAlgoDCols : kAlgoRtSads;
+  // Weighted portfolio mix: the paper's two search schedulers keep most of
+  // the probability mass, the partitioned and greedy entrants share the
+  // rest so every registry family is continuously enrolled in the oracles.
+  const double algo_roll = rng.uniform_double();
+  s.algo_spec = algo_roll < 0.30   ? "rt_sads"
+                : algo_roll < 0.45 ? "d_cols"
+                : algo_roll < 0.52 ? "d_cols?max_successors=4"
+                : algo_roll < 0.62 ? "packing"
+                : algo_roll < 0.69 ? "packing?fit=best&order=lpt"
+                : algo_roll < 0.79 ? "multicrit"
+                : algo_roll < 0.86 ? "multicrit?sort=min_slack&fit=worst"
+                : algo_roll < 0.91 ? "multicrit?sort=lpt&fit=next"
+                : algo_roll < 0.95 ? "edf_ff"
+                : algo_roll < 0.98 ? "edf_bf"
+                                   : "myopic?window=3";
 
   // -- fault injection -------------------------------------------------------
   s.refusal_period = rng.bernoulli(0.7)
@@ -199,7 +214,20 @@ Scenario generate_scenario(std::uint64_t base_seed, std::uint64_t index) {
 std::string encode_token(const Scenario& scenario) {
   std::ostringstream os;
   visit_fields(scenario, [&os](const auto& field) {
-    os << '.' << static_cast<std::uint64_t>(field);
+    if constexpr (std::is_same_v<std::decay_t<decltype(field)>,
+                                 std::string>) {
+      // String fields become "x" + lowercase hex bytes: the segment starts
+      // with 'x' (never a digit, never 'c'), so it cannot be confused with
+      // a numeric field or the ".c<checksum>" suffix.
+      os << ".x";
+      static constexpr char kHex[] = "0123456789abcdef";
+      for (const char c : field) {
+        const auto b = static_cast<unsigned char>(c);
+        os << kHex[b >> 4] << kHex[b & 0xF];
+      }
+    } else {
+      os << '.' << static_cast<std::uint64_t>(field);
+    }
   });
   const std::string payload = os.str();
   std::ostringstream token;
@@ -230,6 +258,11 @@ std::optional<Scenario> decode_token(const std::string& token) {
   Scenario s;
   std::size_t pos = 0;
   bool ok = true;
+  const auto hex_nibble = [](char c) -> int {
+    if (c >= '0' && c <= '9') return c - '0';
+    if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+    return -1;
+  };
   visit_fields(s, [&](auto& field) {
     if (!ok) return;
     if (pos >= payload.size() || payload[pos] != '.') {
@@ -237,16 +270,41 @@ std::optional<Scenario> decode_token(const std::string& token) {
       return;
     }
     ++pos;
-    std::uint64_t value = 0;
-    const char* begin = payload.data() + pos;
-    const char* end = payload.data() + payload.size();
-    const auto [ptr, ec] = std::from_chars(begin, end, value);
-    if (ec != std::errc{} || ptr == begin) {
-      ok = false;
-      return;
+    if constexpr (std::is_same_v<std::decay_t<decltype(field)>,
+                                 std::string>) {
+      if (pos >= payload.size() || payload[pos] != 'x') {
+        ok = false;
+        return;
+      }
+      ++pos;
+      std::string value;
+      while (pos < payload.size() && payload[pos] != '.') {
+        if (pos + 1 >= payload.size()) {
+          ok = false;  // odd hex digit count
+          return;
+        }
+        const int hi = hex_nibble(payload[pos]);
+        const int lo = hex_nibble(payload[pos + 1]);
+        if (hi < 0 || lo < 0) {
+          ok = false;
+          return;
+        }
+        value.push_back(static_cast<char>((hi << 4) | lo));
+        pos += 2;
+      }
+      field = std::move(value);
+    } else {
+      std::uint64_t value = 0;
+      const char* begin = payload.data() + pos;
+      const char* end = payload.data() + payload.size();
+      const auto [ptr, ec] = std::from_chars(begin, end, value);
+      if (ec != std::errc{} || ptr == begin) {
+        ok = false;
+        return;
+      }
+      pos = static_cast<std::size_t>(ptr - payload.data());
+      field = static_cast<std::remove_reference_t<decltype(field)>>(value);
     }
-    pos = static_cast<std::size_t>(ptr - payload.data());
-    field = static_cast<std::remove_reference_t<decltype(field)>>(value);
   });
   if (!ok || pos != payload.size()) return std::nullopt;
   return s;
@@ -263,7 +321,7 @@ std::string Scenario::to_string() const {
      << laxity_max_centi / 100.0 << "]"
      << " proc=[" << processing_min_us << "," << processing_max_us << "]us"
      << " comm=" << comm_cost_us << "us"
-     << " algo=" << (algorithm == kAlgoDCols ? "d-cols" : "rt-sads")
+     << " algo=" << algo_spec
      << " quantum=" << (quantum_kind == 1 ? "fixed" : "self-adjusting")
      << " attempts=" << max_delivery_attempts
      << " refuse_every=" << refusal_period << " mailbox=" << mailbox_capacity

@@ -35,15 +35,10 @@ enum : std::uint32_t {
   kArrivalPeriodicBurst = 2,
 };
 
-/// Algorithm under test.
-enum : std::uint32_t {
-  kAlgoRtSads = 0,
-  kAlgoDCols = 1,
-};
-
 /// One complete fuzz case. Defaults form a small valid scenario; the
 /// generator overwrites every field. Durations in integer microseconds,
-/// ratios in permille / centi so the token encoding is exact.
+/// ratios in permille / centi so the token encoding is exact; the one
+/// string field (the algorithm spec) is hex-encoded in the token.
 struct Scenario {
   std::uint64_t seed{1};  ///< workload randomness (independent substream)
 
@@ -81,7 +76,10 @@ struct Scenario {
   std::int64_t fixed_quantum_us{2000};
 
   // -- algorithm -------------------------------------------------------------
-  std::uint32_t algorithm{kAlgoRtSads};
+  /// Registry spec of the algorithm under test (sched/registry.h). Any
+  /// portfolio member can be fuzzed; the oracles (correction theorem,
+  /// conservation, schedule validity, parity) hold for all of them.
+  std::string algo_spec{"rt_sads"};
 
   // -- fault injection -------------------------------------------------------
   /// Deterministically refuse every Nth delivered assignment (0 = off).
@@ -111,7 +109,8 @@ std::vector<tasks::Task> make_workload(const Scenario& scenario);
 /// Draws scenario `index` of the sweep rooted at `base_seed`.
 Scenario generate_scenario(std::uint64_t base_seed, std::uint64_t index);
 
-/// One-line replay token ("rtds1.<fields>.c<checksum>").
+/// One-line replay token ("rtds2.<fields>.c<checksum>"; integer fields are
+/// decimal, string fields are "x"-prefixed lowercase hex bytes).
 std::string encode_token(const Scenario& scenario);
 
 /// Parses a replay token; nullopt on malformed input, wrong version or

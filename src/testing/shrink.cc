@@ -102,7 +102,7 @@ std::vector<Scenario> candidates(const Scenario& s) {
   }
   {
     Scenario c = s;
-    c.algorithm = kAlgoRtSads;
+    c.algo_spec = "rt_sads";
     push(c);
   }
   {

@@ -34,13 +34,31 @@ TEST(ScenarioTest, DecodeRejectsTamperedToken) {
 
 TEST(ScenarioTest, DecodeRejectsWrongVersionAndGarbage) {
   std::string token = encode_token(Scenario{});
-  ASSERT_EQ(token.substr(0, 5), "rtds1");
+  ASSERT_EQ(token.substr(0, 5), "rtds2");
+  // rtds1 tokens predate the algo_spec string field: they must be rejected,
+  // never silently decoded into a differently-shaped scenario.
+  EXPECT_FALSE(decode_token("rtds1" + token.substr(5)).has_value());
   EXPECT_FALSE(decode_token("rtds9" + token.substr(5)).has_value());
   EXPECT_FALSE(decode_token("").has_value());
-  EXPECT_FALSE(decode_token("rtds1").has_value());
+  EXPECT_FALSE(decode_token("rtds2").has_value());
   EXPECT_FALSE(decode_token("not a token at all").has_value());
   // Truncated field list.
   EXPECT_FALSE(decode_token(token.substr(0, token.size() / 2)).has_value());
+}
+
+TEST(ScenarioTest, TokenRoundTripsArbitraryAlgoSpecStrings) {
+  // The string field is hex-encoded, so any spec text — including '?', '&',
+  // '=' and characters the registry would reject — survives the token.
+  for (const char* spec :
+       {"rt_sads", "d_cols?max_successors=8", "multicrit?sort=lpt&fit=next",
+        "", "weird spec with spaces", "x.c.x"}) {
+    Scenario s;
+    s.algo_spec = spec;
+    const auto decoded = decode_token(encode_token(s));
+    ASSERT_TRUE(decoded.has_value()) << spec;
+    EXPECT_EQ(decoded->algo_spec, spec);
+    EXPECT_EQ(*decoded, s);
+  }
 }
 
 TEST(ScenarioTest, GeneratorKeepsScenariosValid) {

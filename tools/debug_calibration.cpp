@@ -1,7 +1,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include "exp/experiment.h"
-#include "sched/presets.h"
+#include "sched/registry.h"
 using namespace rtds;
 using namespace rtds::exp;
 
@@ -13,8 +13,8 @@ static double hit(const ExperimentConfig& cfg,
 int main(int argc, char** argv) {
   const std::int64_t vcost_us = argc > 1 ? atoll(argv[1]) : 1;
   const std::int64_t maxq_ms = argc > 2 ? atoll(argv[2]) : 20;
-  const auto rt = sched::make_rt_sads();
-  const auto dc = sched::make_d_cols();
+  const auto rt = sched::AlgorithmRegistry::builtin().make("rt_sads");
+  const auto dc = sched::AlgorithmRegistry::builtin().make("d_cols");
 
   std::printf("Fig5 shape (R=30%%, SF=1, vcost=%ldus, maxQ=%ldms)\n",
               vcost_us, maxq_ms);

@@ -1,11 +1,15 @@
 // rtds_fuzz — deterministic stress/fuzz driver (docs/FUZZING.md).
 //
 //   rtds_fuzz [--scenarios N] [--seed S] [--no-threaded] [--time-scale X]
-//             [--shrink-budget N] [--artifact-dir DIR]
+//             [--shrink-budget N] [--artifact-dir DIR] [--algo SPEC]
 //   rtds_fuzz --replay <token>
 //   rtds_fuzz --list-oracles
+//   rtds_fuzz --list-algos
 //
 // Sweeps scenarios generate_scenario(seed, 0..N-1) through the harness.
+// By default each scenario draws its algorithm from the portfolio mix;
+// --algo pins every scenario to one registry spec (sched/registry.h) so a
+// single portfolio member can be fuzzed in isolation.
 // On the first oracle violation it shrinks the scenario to a minimal
 // still-failing repro, prints both replay tokens, optionally writes them to
 // <artifact-dir>/failing_tokens.txt (uploaded by CI), and exits 1.
@@ -17,6 +21,7 @@
 #include <iostream>
 #include <string>
 
+#include "sched/registry.h"
 #include "testing/harness.h"
 #include "testing/oracles.h"
 #include "testing/scenario.h"
@@ -32,16 +37,19 @@ struct Args {
   std::uint32_t shrink_budget = 150;
   std::string replay_token;
   std::string artifact_dir;
+  std::string algo_spec;  ///< empty = each scenario's own portfolio draw
   bool list_oracles = false;
+  bool list_algos = false;
   rtds::testing::HarnessOptions harness;
 };
 
 void usage(std::ostream& os) {
   os << "usage: rtds_fuzz [--scenarios N] [--seed S] [--no-threaded]\n"
         "                 [--time-scale X] [--shrink-budget N]\n"
-        "                 [--artifact-dir DIR]\n"
+        "                 [--artifact-dir DIR] [--algo SPEC]\n"
         "       rtds_fuzz --replay <token>\n"
-        "       rtds_fuzz --list-oracles\n";
+        "       rtds_fuzz --list-oracles\n"
+        "       rtds_fuzz --list-algos\n";
 }
 
 bool parse_args(int argc, char** argv, Args& args) {
@@ -77,8 +85,14 @@ bool parse_args(int argc, char** argv, Args& args) {
       const char* v = next();
       if (!v) return false;
       args.artifact_dir = v;
+    } else if (a == "--algo") {
+      const char* v = next();
+      if (!v) return false;
+      args.algo_spec = v;
     } else if (a == "--list-oracles") {
       args.list_oracles = true;
+    } else if (a == "--list-algos") {
+      args.list_algos = true;
     } else if (a == "--help" || a == "-h") {
       usage(std::cout);
       std::exit(0);
@@ -132,6 +146,30 @@ int main(int argc, char** argv) {
     return 0;
   }
 
+  if (args.list_algos) {
+    const auto& registry = rtds::sched::AlgorithmRegistry::builtin();
+    for (const std::string& key : registry.keys()) {
+      std::cout << key << "  —  " << registry.summary(key) << "\n";
+    }
+    return 0;
+  }
+
+  // Resolve --algo up front: a typo'd spec should fail with the registry's
+  // message before the sweep starts, and pinning the CANONICAL spec keeps
+  // replay tokens identical to what an unpinned run of that spec would use.
+  std::string pinned_spec;
+  if (!args.algo_spec.empty()) {
+    const auto canonical =
+        rtds::sched::AlgorithmRegistry::builtin().canonicalize(
+            args.algo_spec);
+    if (!canonical) {
+      std::cerr << "rtds_fuzz: invalid --algo spec '" << args.algo_spec
+                << "' (see --list-algos)\n";
+      return 2;
+    }
+    pinned_spec = *canonical;
+  }
+
   if (!args.replay_token.empty()) {
     const auto scenario = rtds::testing::decode_token(args.replay_token);
     if (!scenario) {
@@ -150,8 +188,9 @@ int main(int argc, char** argv) {
   std::uint64_t total_vertices = 0;
   const auto sweep_start = std::chrono::steady_clock::now();
   for (std::uint64_t i = 0; i < args.scenarios; ++i) {
-    const rtds::testing::Scenario scenario =
+    rtds::testing::Scenario scenario =
         rtds::testing::generate_scenario(args.seed, i);
+    if (!pinned_spec.empty()) scenario.algo_spec = pinned_spec;
     const rtds::testing::ScenarioResult result =
         rtds::testing::run_scenario(scenario, args.harness);
     if (!result.ok()) {
