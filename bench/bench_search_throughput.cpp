@@ -9,8 +9,14 @@
 // bit-identical (the equivalence suite's guarantee, re-asserted here so a
 // perf number can never come from a divergent search), and reports
 // vertices/sec, ns/vertex, expansions/sec and p50/p99 per-phase search
-// latency. Writes the machine-readable trajectory to BENCH_SEARCH.json so
-// future PRs can diff throughput against this one.
+// latency. A second sweep scales the parallel sharded engine over
+// K ∈ {1, 2, 4, 8, 16} worker threads on the acceptance cells, verifying
+// bit-identity against the sequential engine and reporting both useful
+// (budgeted) and speculative vertices/sec with parallel efficiency —
+// interpret the scaling against `hardware_concurrency` in the JSON: on a
+// single-core host every K shares one core and the table shows overhead,
+// not speedup. Writes the machine-readable trajectory to BENCH_SEARCH.json
+// so future PRs can diff throughput against this one.
 #include <algorithm>
 #include <chrono>
 #include <cstdint>
@@ -18,11 +24,13 @@
 #include <iostream>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "bench_util.h"
 #include "machine/interconnect.h"
 #include "search/engine.h"
+#include "search/parallel_engine.h"
 #include "search/reference_engine.h"
 #include "tasks/workload.h"
 
@@ -317,6 +325,99 @@ int main(int argc, char** argv) {
     json_engine(json, "optimized", opt);
     json << ",\n    \"speedup_vertices_per_sec\": " << exp::fmt(speedup, 3)
          << "}";
+  }
+  json << "\n  ],\n";
+
+  // ---- parallel engine: threads scaling table ---------------------------
+  // Same cells, ParallelSearchEngine over K threads. Every parallel result
+  // is checked bit-identical against the sequential engine before any
+  // timing counts. Useful throughput = budgeted vertices/sec (the replay's
+  // exact sequential accounting); speculative throughput additionally
+  // counts exploration past the sequential frontier — the metric that
+  // scales with cores, since speculation is what the shards parallelize.
+  const std::uint32_t hw = std::thread::hardware_concurrency();
+  json << "  \"hardware_concurrency\": " << hw
+       << ",\n  \"threads_scaling\": [\n";
+
+  std::cout << "\nthreads scaling (parallel engine, K workers, "
+            << "hardware_concurrency=" << hw << ")\n"
+            << "cell                            |  K | wall vert/s | "
+               "spec vert/s | speedup | efficiency\n"
+            << "--------------------------------+----+-------------+----------"
+               "---+---------+-----------\n";
+
+  const std::vector<std::uint32_t> thread_axis = {1, 2, 4, 8, 16};
+  bool first_scale = true;
+  for (const Cell& cell : make_cells()) {
+    const bool scaling_cell = cell.name == "fig5_m10_n1000_dfs_assign" ||
+                              (!quick &&
+                               (cell.name == "n1000_m10_bestfirst_assign" ||
+                                cell.name == "n1000_m10_dfs_seq"));
+    if (!scaling_cell) continue;
+
+    const auto net = machine::Interconnect::cut_through(cell.m, msec(5));
+    std::vector<PhaseInput> inputs;
+    std::vector<SearchResult> sequential;
+    const search::SearchEngine seq_engine(cell.config);
+    for (std::uint32_t rep = 0; rep < reps; ++rep) {
+      inputs.push_back(make_input(cell, rep));
+      const PhaseInput& in = inputs.back();
+      sequential.push_back(seq_engine.run(in.batch, in.base_loads,
+                                          in.delivery, net, in.budget));
+    }
+
+    double base_vps = 0;
+    for (const std::uint32_t k : thread_axis) {
+      const search::ParallelSearchEngine engine(cell.config, k);
+      for (std::size_t i = 0; i < inputs.size(); ++i) {
+        const SearchResult par =
+            engine.run(inputs[i].batch, inputs[i].base_loads,
+                       inputs[i].delivery, net, inputs[i].budget);
+        require_identical(par, sequential[i],
+                          cell.name + " threads=" + std::to_string(k));
+      }
+      std::uint64_t total_ns = 0, useful = 0, speculative = 0;
+      for (const PhaseInput& in : inputs) {
+        for (std::uint32_t it = 0; it < iters; ++it) {
+          const auto t0 = std::chrono::steady_clock::now();
+          const SearchResult r =
+              engine.run(in.batch, in.base_loads, in.delivery, net, in.budget);
+          total_ns += static_cast<std::uint64_t>(
+              std::chrono::duration_cast<std::chrono::nanoseconds>(
+                  std::chrono::steady_clock::now() - t0)
+                  .count());
+          useful += r.stats.vertices_generated;
+          // threads == 1 delegates to the sequential engine: every vertex
+          // it generates is both useful and "speculative" work performed.
+          speculative += k == 1
+                             ? r.stats.vertices_generated
+                             : engine.last_run_stats().speculative_vertices;
+        }
+      }
+      const double secs = double(total_ns) * 1e-9;
+      const double wall_vps = secs > 0 ? double(useful) / secs : 0;
+      const double spec_vps = secs > 0 ? double(speculative) / secs : 0;
+      if (k == 1) base_vps = wall_vps;
+      const double speedup = base_vps > 0 ? wall_vps / base_vps : 0;
+      const double efficiency =
+          base_vps > 0 ? 100.0 * spec_vps / (double(k) * base_vps) : 0;
+
+      std::cout << cell.name;
+      for (std::size_t pad = cell.name.size(); pad < 32; ++pad) {
+        std::cout << ' ';
+      }
+      std::cout << "| " << k << " | " << std::uint64_t(wall_vps) << " | "
+                << std::uint64_t(spec_vps) << " | " << exp::fmt(speedup, 2)
+                << "x | " << exp::fmt(efficiency, 1) << "%\n";
+
+      if (!first_scale) json << ",\n";
+      first_scale = false;
+      json << "   {\"config\": \"" << cell.name << "\", \"threads\": " << k
+           << ", \"vertices_per_sec\": " << std::uint64_t(wall_vps)
+           << ", \"speculative_vertices_per_sec\": " << std::uint64_t(spec_vps)
+           << ", \"speedup_vs_1\": " << exp::fmt(speedup, 3)
+           << ", \"efficiency_pct\": " << exp::fmt(efficiency, 1) << "}";
+    }
   }
   json << "\n  ]\n}\n";
 

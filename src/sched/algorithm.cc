@@ -11,8 +11,9 @@ using search::Assignment;
 using search::PartialSchedule;
 
 TreeSearchAlgorithm::TreeSearchAlgorithm(std::string name,
-                                         search::SearchConfig config)
-    : name_(std::move(name)), engine_(config) {}
+                                         search::SearchConfig config,
+                                         std::uint32_t threads)
+    : name_(std::move(name)), engine_(config, threads) {}
 
 SearchResult TreeSearchAlgorithm::schedule_phase(
     const std::vector<Task>& batch,

@@ -33,6 +33,7 @@ RunMetrics PhasePipeline::run(const std::vector<Task>& workload,
 
   RunMetrics metrics;
   metrics.algorithm = algorithm_.name();
+  metrics.threads = algorithm_.threads();
   metrics.total_tasks = workload.size();
   if (workload.empty()) {
     metrics.finish_time = backend.now();
@@ -77,6 +78,7 @@ RunMetrics PhasePipeline::run(const std::vector<Task>& workload,
 
     PhaseRecord record;
     record.algorithm = metrics.algorithm;
+    record.threads = metrics.threads;
     record.index = metrics.phases;
     record.start = t;
     record.arrivals = arrived.size();

@@ -1,0 +1,1157 @@
+#include "search/parallel_engine.h"
+
+#include <algorithm>
+#include <atomic>
+#include <bit>
+#include <condition_variable>
+#include <limits>
+#include <mutex>
+#include <thread>
+#include <tuple>
+#include <vector>
+
+#include "common/error.h"
+#include "search/partial_schedule.h"
+
+namespace rtds::search {
+
+namespace {
+
+// ------------------------------------------------------------------------
+// Mirrors of the sequential engine's candidate machinery. These replicate
+// engine.cc's anonymous-namespace Candidate / sort_candidates / key rules
+// byte for byte; the parallel equivalence suite (bit-identical results over
+// fuzzed scenarios x all config combos) pins the two copies together, so
+// any drift between this file and engine.cc fails tests immediately.
+// ------------------------------------------------------------------------
+
+struct Candidate {
+  Assignment assignment;
+  std::int64_t key1{0};
+  std::int64_t key2{0};
+  std::uint32_t key3{0};
+
+  bool operator<(const Candidate& o) const {
+    return std::tie(key1, key2, key3) < std::tie(o.key1, o.key2, o.key3);
+  }
+};
+
+void sort_candidates(std::vector<Candidate>& c) {
+  if (c.size() > 48) {
+    std::sort(c.begin(), c.end());
+    return;
+  }
+  for (std::size_t i = 1; i < c.size(); ++i) {
+    Candidate tmp = c[i];
+    std::size_t j = i;
+    for (; j > 0 && tmp < c[j - 1]; --j) c[j] = c[j - 1];
+    c[j] = tmp;
+  }
+}
+
+Candidate make_candidate(const SearchConfig& config,
+                         const PartialSchedule& ps,
+                         const std::vector<Task>& batch, const Assignment& a,
+                         std::uint32_t branch_index) {
+  Candidate c;
+  c.assignment = a;
+  if (config.use_load_balance_cost) {
+    c.key1 = max_duration(ps.max_ce(), a.end_offset).us;
+    c.key2 = a.end_offset.us;
+    c.key3 = branch_index;
+  } else if (config.representation == Representation::kAssignmentOriented) {
+    switch (config.processor_order) {
+      case ProcessorOrder::kIndexOrder:
+        c.key1 = a.worker;
+        break;
+      case ProcessorOrder::kMinEndOffset:
+        c.key1 = a.end_offset.us;
+        c.key2 = a.worker;
+        break;
+      case ProcessorOrder::kMinCommCost:
+        c.key1 = (a.exec_cost - batch[a.task_index].processing).us;
+        c.key2 = a.end_offset.us;
+        c.key3 = a.worker;
+        break;
+    }
+  } else {
+    c.key1 = branch_index;
+  }
+  return c;
+}
+
+/// One expansion of the vertex the schedule currently ends at — the exact
+/// budget-interleaved loop of SearchEngine::run's expand_current, charging
+/// `budget_left` / `stats` identically (including the bulk unplaceable
+/// charge, mid-loop budget death, max_successors caps, and the returned
+/// order cursor). Shard workers call it with an effectively unlimited
+/// budget and a scratch stats object (charge = budget consumed); the
+/// replay calls it with the real remaining budget whenever the memo cache
+/// cannot answer. Appends sorted candidates to `out`.
+std::uint32_t expand_mirror(const SearchConfig& config, PartialSchedule& ps,
+                            const std::vector<Task>& batch, std::uint32_t m,
+                            std::uint32_t cursor, std::uint64_t& budget_left,
+                            SearchStats& stats, std::vector<Candidate>& out,
+                            std::vector<ProcessorId>& level_order) {
+  ++stats.expansions;
+  out.clear();
+  const auto n = static_cast<std::uint32_t>(batch.size());
+  const std::uint32_t depth = ps.depth();
+  if (config.max_depth != 0 && depth >= config.max_depth) {
+    return cursor;  // depth-pruned: no successors
+  }
+
+  if (config.representation == Representation::kAssignmentOriented) {
+    const SimDuration lo = ps.min_ce();
+    std::uint32_t scan = cursor;
+    while (scan < n) {
+      scan = ps.first_unassigned_at_or_after(scan);
+      if (scan == n) break;
+      const std::uint32_t task = ps.task_at(scan);
+      if (ps.task_unplaceable(task, lo)) {
+        const std::uint64_t charged = std::min<std::uint64_t>(m, budget_left);
+        budget_left -= charged;
+        stats.vertices_generated += charged;
+        if (charged < m) stats.budget_exhausted = true;
+      } else {
+        Assignment a;
+        for (std::uint32_t k = 0; k < m; ++k) {
+          if (budget_left == 0) {
+            stats.budget_exhausted = true;
+            break;
+          }
+          --budget_left;
+          ++stats.vertices_generated;
+          if (ps.evaluate_fast(task, k, a)) {
+            out.push_back(make_candidate(config, ps, batch, a, k));
+            if (config.max_successors != 0 &&
+                out.size() >= config.max_successors) {
+              break;
+            }
+          }
+        }
+      }
+      if (!out.empty() || stats.budget_exhausted ||
+          !config.skip_unplaceable_tasks) {
+        break;
+      }
+      ++scan;
+    }
+    cursor = scan;
+  } else {
+    level_order.resize(m);
+    for (std::uint32_t k = 0; k < m; ++k) {
+      level_order[k] = (depth + k) % m;
+    }
+    if (config.level_processor_order == LevelProcessorOrder::kLeastLoaded) {
+      for (std::uint32_t i = 1; i < m; ++i) {
+        const ProcessorId tmp = level_order[i];
+        std::uint32_t j = i;
+        for (; j > 0 && ps.ce(tmp) < ps.ce(level_order[j - 1]); --j) {
+          level_order[j] = level_order[j - 1];
+        }
+        level_order[j] = tmp;
+      }
+    }
+    const std::uint32_t max_rotations =
+        config.skip_saturated_processors ? m : 1;
+    const std::vector<std::uint64_t>& words = ps.unassigned_words();
+    for (std::uint32_t rot = 0; rot < max_rotations; ++rot) {
+      const ProcessorId worker = level_order[rot];
+      std::uint32_t branch = 0;
+      Assignment a;
+      bool stop = false;
+      for (std::size_t w = 0; w < words.size() && !stop; ++w) {
+        std::uint64_t bits = words[w];
+        while (bits != 0) {
+          const auto pos = static_cast<std::uint32_t>(
+              (w << 6) + std::uint32_t(std::countr_zero(bits)));
+          bits &= bits - 1;
+          const std::uint32_t i = ps.task_at(pos);
+          if (budget_left == 0) {
+            stats.budget_exhausted = true;
+            stop = true;
+            break;
+          }
+          --budget_left;
+          ++stats.vertices_generated;
+          if (ps.evaluate_fast(i, worker, a)) {
+            out.push_back(make_candidate(config, ps, batch, a, branch));
+            if (config.max_successors != 0 &&
+                out.size() >= config.max_successors) {
+              stop = true;
+              break;
+            }
+          }
+          ++branch;
+        }
+      }
+      if (!out.empty() || stats.budget_exhausted) break;
+    }
+  }
+
+  sort_candidates(out);
+  return cursor;
+}
+
+// ------------------------------------------------------------------------
+// Packed node ids and the per-shard chunked arena.
+// ------------------------------------------------------------------------
+
+constexpr std::uint64_t kInvalidId = ~std::uint64_t{0};
+constexpr std::uint64_t kRootId = kInvalidId - 1;
+constexpr std::uint32_t kShardShift = 56;
+constexpr std::uint64_t kIndexMask = (std::uint64_t{1} << kShardShift) - 1;
+
+constexpr std::uint32_t kChunkShift = 12;  // 4096 nodes per chunk
+constexpr std::uint32_t kChunkSize = 1u << kChunkShift;
+constexpr std::uint32_t kMaxChunks = 1u << 14;  // 64M nodes per shard
+
+constexpr std::uint64_t kUnlimited = ~std::uint64_t{0};
+constexpr std::int64_t kClaimChunk = 1024;
+
+/// One memoized vertex. Core fields (parent..key3) are written by the
+/// creating shard before the id is published through its deque/heap, so
+/// any thread that learned the id through a steal reads them safely.
+/// Expansion fields (charge..expanded) are written by whichever worker wins
+/// the claim and are read only by the post-round replay (rounds and replay
+/// are separated by the pool's condition-variable barrier).
+struct PNode {
+  std::uint64_t parent{kRootId};
+  Assignment assignment;
+  std::int64_t key1{0};  ///< CL sort key recorded at creation
+  std::int64_t key2{0};
+  std::uint32_t key3{0};
+  std::uint16_t depth{0};
+  std::uint16_t order_cursor{0};
+  // -- expansion record (valid when expanded != 0) --
+  std::uint64_t charge{0};       ///< unconstrained budget charge
+  std::uint32_t child_count{0};
+  std::uint64_t child_begin{0};  ///< offset into child_shard's child pool
+  std::uint16_t child_shard{0};
+  std::uint8_t expanded{0};
+  /// Exactly-once expansion: 0 -> 1 via exchange. Racing thieves holding
+  /// duplicate copies all lose the exchange and drop theirs.
+  std::atomic<std::uint8_t> claim{0};
+};
+
+// ------------------------------------------------------------------------
+// Chase-Lev work-stealing deque (Le et al., CGO'13 C11 formulation) over a
+// fixed ring of packed node ids. The owner pushes/pops at the bottom,
+// thieves steal at the top (oldest entry = shallowest unexplored subtree).
+// A full ring spills to the owner's private overflow stack instead of
+// growing: spilled subtrees simply cannot be stolen, which only affects
+// load balance — the deterministic replay fixes the result regardless.
+// ------------------------------------------------------------------------
+
+class WsDeque {
+ public:
+  static constexpr std::uint32_t kCapacity = 1u << 16;
+
+  WsDeque() : buf_(new std::atomic<std::uint64_t>[kCapacity]) {}
+
+  /// Owner only. False when full (caller spills to its overflow stack).
+  bool push(std::uint64_t v) {
+    const std::int64_t b = bottom_.load(std::memory_order_relaxed);
+    const std::int64_t t = top_.load(std::memory_order_acquire);
+    if (b - t >= static_cast<std::int64_t>(kCapacity)) return false;
+    buf_[static_cast<std::uint64_t>(b) & (kCapacity - 1)].store(
+        v, std::memory_order_relaxed);
+    // Release store (not the classic relaxed-after-fence) so the pushed
+    // node's plain fields are published to thieves in a way TSan's
+    // happens-before machinery models directly.
+    std::atomic_thread_fence(std::memory_order_release);
+    bottom_.store(b + 1, std::memory_order_release);
+    return true;
+  }
+
+  /// Owner only.
+  bool pop(std::uint64_t& v) {
+    const std::int64_t b = bottom_.load(std::memory_order_relaxed) - 1;
+    bottom_.store(b, std::memory_order_relaxed);
+    std::atomic_thread_fence(std::memory_order_seq_cst);
+    std::int64_t t = top_.load(std::memory_order_relaxed);
+    if (t > b) {  // empty
+      bottom_.store(b + 1, std::memory_order_relaxed);
+      return false;
+    }
+    v = buf_[static_cast<std::uint64_t>(b) & (kCapacity - 1)].load(
+        std::memory_order_relaxed);
+    if (t != b) return true;  // more than one entry left
+    // Last entry: race the thieves for it.
+    const bool won = top_.compare_exchange_strong(
+        t, t + 1, std::memory_order_seq_cst, std::memory_order_relaxed);
+    bottom_.store(b + 1, std::memory_order_relaxed);
+    return won;
+  }
+
+  /// Any thread. Takes the oldest entry.
+  bool steal(std::uint64_t& v) {
+    std::int64_t t = top_.load(std::memory_order_acquire);
+    std::atomic_thread_fence(std::memory_order_seq_cst);
+    const std::int64_t b = bottom_.load(std::memory_order_acquire);
+    if (t >= b) return false;
+    v = buf_[static_cast<std::uint64_t>(t) & (kCapacity - 1)].load(
+        std::memory_order_relaxed);
+    return top_.compare_exchange_strong(
+        t, t + 1, std::memory_order_seq_cst, std::memory_order_relaxed);
+  }
+
+  /// Between rounds/runs only (all workers parked).
+  void reset() {
+    top_.store(0, std::memory_order_relaxed);
+    bottom_.store(0, std::memory_order_relaxed);
+  }
+
+ private:
+  std::unique_ptr<std::atomic<std::uint64_t>[]> buf_;
+  alignas(64) std::atomic<std::int64_t> top_{0};
+  alignas(64) std::atomic<std::int64_t> bottom_{0};
+};
+
+/// Best-first frontier entry (exploration side). The tiebreak here is the
+/// node id, not the sequential engine's push sequence — exploration order
+/// is a heuristic, only the replay's pop order is contractual.
+struct HeapEntry {
+  std::int64_t k1;
+  std::int64_t k2;
+  std::uint32_t k3;
+  std::uint64_t id;
+
+  bool operator<(const HeapEntry& o) const {
+    return std::tie(k1, k2, k3, id) < std::tie(o.k1, o.k2, o.k3, o.id);
+  }
+};
+
+/// Replay-side candidate list: the sequential engine's CandidateList with
+/// node ids instead of arena indices. Same 4-ary heap, same strictly total
+/// (k1, k2, k3, seq) order, so the pop sequence is identical.
+class ReplayList {
+ public:
+  struct Entry {
+    std::int64_t k1;
+    std::int64_t k2;
+    std::uint32_t k3;
+    std::uint64_t seq;
+    std::uint64_t id;
+  };
+
+  void reset(SearchStrategy strategy) {
+    strategy_ = strategy;
+    entries_.clear();
+  }
+
+  [[nodiscard]] bool empty() const { return entries_.empty(); }
+
+  void push(const Entry& e) {
+    entries_.push_back(e);
+    if (strategy_ == SearchStrategy::kBestFirst) sift_up(entries_.size() - 1);
+  }
+
+  std::uint64_t pop() {
+    RTDS_ASSERT(!entries_.empty());
+    if (strategy_ != SearchStrategy::kBestFirst) {
+      const std::uint64_t id = entries_.back().id;
+      entries_.pop_back();
+      return id;
+    }
+    const std::uint64_t id = entries_.front().id;
+    entries_.front() = entries_.back();
+    entries_.pop_back();
+    if (!entries_.empty()) sift_down(0);
+    return id;
+  }
+
+ private:
+  static bool less(const Entry& a, const Entry& b) {
+    return std::tie(a.k1, a.k2, a.k3, a.seq) <
+           std::tie(b.k1, b.k2, b.k3, b.seq);
+  }
+
+  void sift_up(std::size_t i) {
+    Entry e = entries_[i];
+    while (i > 0) {
+      const std::size_t parent = (i - 1) / 4;
+      if (!less(e, entries_[parent])) break;
+      entries_[i] = entries_[parent];
+      i = parent;
+    }
+    entries_[i] = e;
+  }
+
+  void sift_down(std::size_t i) {
+    const std::size_t size = entries_.size();
+    Entry e = entries_[i];
+    while (true) {
+      const std::size_t first_child = 4 * i + 1;
+      if (first_child >= size) break;
+      const std::size_t last_child = std::min(first_child + 4, size);
+      std::size_t best = first_child;
+      for (std::size_t c = first_child + 1; c < last_child; ++c) {
+        if (less(entries_[c], entries_[best])) best = c;
+      }
+      if (!less(entries_[best], e)) break;
+      entries_[i] = entries_[best];
+      i = best;
+    }
+    entries_[i] = e;
+  }
+
+  SearchStrategy strategy_{SearchStrategy::kDepthFirst};
+  std::vector<Entry> entries_;
+};
+
+std::uint64_t xorshift(std::uint64_t& s) {
+  s ^= s << 13;
+  s ^= s >> 7;
+  s ^= s << 17;
+  return s;
+}
+
+/// One shard: a worker thread's private arena, frontier, and scratch.
+struct Shard {
+  std::uint32_t index{0};
+
+  // -- frontier --
+  WsDeque deque;                       // depth-first, stealable
+  std::vector<std::uint64_t> spill;    // owner-only deque overflow
+  std::mutex heap_mu;                  // best-first
+  std::vector<HeapEntry> heap;
+  std::atomic<std::int64_t> heap_min_k1{
+      std::numeric_limits<std::int64_t>::max()};
+
+  // -- arena --
+  std::unique_ptr<std::atomic<PNode*>[]> chunks;
+  std::uint32_t allocated_chunks{0};
+  std::uint64_t node_count{0};
+  std::vector<std::uint64_t> child_pool;  // successor id lists, owner-append
+
+  // -- per-run working state --
+  std::unique_ptr<PartialSchedule> ps;
+  std::uint64_t current{kRootId};
+  std::vector<Candidate> cands;
+  std::vector<ProcessorId> level_order;
+  std::vector<std::uint64_t> chain;
+  std::int64_t claim_balance{0};
+  std::uint64_t rng_state{1};
+
+  // -- counters (merged into ParallelRunStats post-run) --
+  std::uint64_t spec_vertices{0};
+  std::uint64_t expansions{0};
+  std::uint64_t steals{0};
+
+  Shard() : chunks(new std::atomic<PNode*>[kMaxChunks]) {
+    for (std::uint32_t i = 0; i < kMaxChunks; ++i) {
+      chunks[i].store(nullptr, std::memory_order_relaxed);
+    }
+  }
+  ~Shard() {
+    for (std::uint32_t i = 0; i < allocated_chunks; ++i) {
+      delete[] chunks[i].load(std::memory_order_relaxed);
+    }
+  }
+};
+
+}  // namespace
+
+// ------------------------------------------------------------------------
+// Engine implementation.
+// ------------------------------------------------------------------------
+
+struct ParallelSearchEngine::Impl {
+  const SearchConfig config;
+  const std::uint32_t K;
+  const std::uint64_t base_seed;
+
+  std::mutex run_mu;  ///< serializes run() per engine instance
+
+  // -- persistent pool (spawned lazily, parked between rounds) --
+  std::vector<std::thread> pool;
+  std::mutex pool_mu;
+  std::condition_variable cv_start, cv_done;
+  std::uint64_t epoch{0};
+  std::uint32_t running{0};
+  bool stop{false};
+
+  std::vector<std::unique_ptr<Shard>> shards;
+
+  // -- per-run shared inputs (written before the round, read-only inside
+  //    it; the round barrier orders every transition) --
+  const std::vector<Task>* batch{nullptr};
+  const machine::Interconnect* net{nullptr};
+  std::uint32_t n{0};
+  std::uint32_t m{0};
+  std::vector<std::uint32_t> order_storage;
+  const std::uint32_t* order{nullptr};
+  std::uint64_t claim_cap{0};
+
+  // -- round-shared mutable state --
+  std::atomic<std::uint64_t> open{0};        ///< published, unconsumed copies
+  std::atomic<std::uint64_t> claimed{0};     ///< speculation claims drawn
+  std::atomic<bool> round_stop{false};       ///< DFS: a leaf was reached
+  std::atomic<bool> claims_exhausted{false};
+  /// Best-first incumbent watermark: the smallest k1 of any complete leaf
+  /// found. Frontier entries with k1 strictly above it can never precede
+  /// the sequential engine's first leaf pop, so shards skip inserting them
+  /// (insert-side prune only: a pruned vertex the replay turns out to need
+  /// is simply expanded inline by the replay itself).
+  std::atomic<std::int64_t> incumbent_k1{
+      std::numeric_limits<std::int64_t>::max()};
+
+  // -- the root's expansion record --
+  std::atomic<std::uint8_t> root_claim{0};
+  std::uint8_t root_expanded{0};
+  std::uint64_t root_charge{0};
+  std::uint16_t root_child_shard{0};
+  std::uint64_t root_child_begin{0};
+  std::uint32_t root_child_count{0};
+
+  // -- replay state (coordinator only, after the round barrier) --
+  ReplayList rcl;
+  std::unique_ptr<PartialSchedule> replay_ps;
+  std::uint64_t replay_current{kRootId};
+  std::vector<Candidate> replay_cands;
+  std::vector<ProcessorId> replay_level_order;
+  std::vector<std::uint64_t> replay_chain;
+
+  ParallelRunStats last_stats;
+
+  Impl(SearchConfig cfg, std::uint32_t threads, std::uint64_t seed)
+      : config(cfg), K(threads), base_seed(seed) {
+    shards.reserve(K);
+    for (std::uint32_t i = 0; i < K; ++i) {
+      shards.push_back(std::make_unique<Shard>());
+      shards.back()->index = i;
+    }
+  }
+
+  ~Impl() {
+    if (!pool.empty()) {
+      {
+        std::lock_guard<std::mutex> lk(pool_mu);
+        stop = true;
+      }
+      cv_start.notify_all();
+      for (std::thread& t : pool) t.join();
+    }
+  }
+
+  // ---------------------------------------------------------- node access
+
+  PNode* resolve(std::uint64_t id) const {
+    const auto shard = static_cast<std::uint32_t>(id >> kShardShift);
+    const std::uint64_t idx = id & kIndexMask;
+    PNode* chunk = shards[shard]->chunks[idx >> kChunkShift].load(
+        std::memory_order_relaxed);
+    return &chunk[idx & (kChunkSize - 1)];
+  }
+
+  std::uint32_t depth_of(std::uint64_t id) const {
+    return id == kRootId ? 0u : resolve(id)->depth;
+  }
+  std::uint64_t parent_of(std::uint64_t id) const {
+    return resolve(id)->parent;
+  }
+  std::atomic<std::uint8_t>& claim_of(std::uint64_t id) {
+    return id == kRootId ? root_claim : resolve(id)->claim;
+  }
+  bool expanded_of(std::uint64_t id) const {
+    return id == kRootId ? root_expanded != 0 : resolve(id)->expanded != 0;
+  }
+  std::uint32_t cursor_of(std::uint64_t id) const {
+    return id == kRootId ? 0u : resolve(id)->order_cursor;
+  }
+
+  /// Allocates one node in `sh`'s arena; returns its packed id. Owner only.
+  std::uint64_t create_node(Shard& sh) {
+    const std::uint64_t idx = sh.node_count++;
+    RTDS_REQUIRE(idx < std::uint64_t{kMaxChunks} * kChunkSize,
+                 "ParallelSearchEngine: shard arena exhausted");
+    const auto c = static_cast<std::uint32_t>(idx >> kChunkShift);
+    if (c >= sh.allocated_chunks) {
+      sh.chunks[c].store(new PNode[kChunkSize], std::memory_order_release);
+      sh.allocated_chunks = c + 1;
+    }
+    return (std::uint64_t{sh.index} << kShardShift) | idx;
+  }
+
+  // ------------------------------------------------------------- frontier
+
+  /// Owner-side publish of an already-counted copy.
+  void push_local(Shard& sh, std::uint64_t id) {
+    if (!sh.deque.push(id)) sh.spill.push_back(id);
+  }
+
+  bool pop_local(Shard& sh, std::uint64_t& id) {
+    if (sh.deque.pop(id)) return true;
+    if (!sh.spill.empty()) {
+      id = sh.spill.back();
+      sh.spill.pop_back();
+      return true;
+    }
+    return false;
+  }
+
+  bool steal_dfs(Shard& sh, std::uint64_t& id) {
+    // Randomized victim order — the shard's derive_seed substream, so runs
+    // with a fixed seed visit victims in a replayable order.
+    const std::uint64_t r = xorshift(sh.rng_state);
+    const auto start = static_cast<std::uint32_t>(r % (K - 1));
+    for (std::uint32_t j = 0; j < K - 1; ++j) {
+      const std::uint32_t v = (sh.index + 1 + ((start + j) % (K - 1))) % K;
+      if (v == sh.index) continue;
+      if (shards[v]->deque.steal(id)) {
+        ++sh.steals;
+        return true;
+      }
+    }
+    return false;
+  }
+
+  void heap_insert(Shard& sh, const HeapEntry& e) {
+    std::lock_guard<std::mutex> lk(sh.heap_mu);
+    sh.heap.push_back(e);
+    std::push_heap(sh.heap.begin(), sh.heap.end(),
+                   [](const HeapEntry& a, const HeapEntry& b) { return b < a; });
+    sh.heap_min_k1.store(sh.heap.front().k1, std::memory_order_relaxed);
+  }
+
+  bool heap_pop(Shard& sh, HeapEntry& e) {
+    std::lock_guard<std::mutex> lk(sh.heap_mu);
+    if (sh.heap.empty()) return false;
+    std::pop_heap(sh.heap.begin(), sh.heap.end(),
+                  [](const HeapEntry& a, const HeapEntry& b) { return b < a; });
+    e = sh.heap.back();
+    sh.heap.pop_back();
+    sh.heap_min_k1.store(sh.heap.empty()
+                             ? std::numeric_limits<std::int64_t>::max()
+                             : sh.heap.front().k1,
+                         std::memory_order_relaxed);
+    return true;
+  }
+
+  /// Best-bound steal: raid the shard currently advertising the lowest
+  /// frontier key (the periodic best-bound exchange — each owner refreshes
+  /// its advertised minimum on every push/pop).
+  bool steal_bf(Shard& sh, HeapEntry& e) {
+    std::uint32_t best = K;
+    std::int64_t best_k1 = std::numeric_limits<std::int64_t>::max();
+    for (std::uint32_t v = 0; v < K; ++v) {
+      if (v == sh.index) continue;
+      const std::int64_t k1 =
+          shards[v]->heap_min_k1.load(std::memory_order_relaxed);
+      if (k1 < best_k1) {
+        best_k1 = k1;
+        best = v;
+      }
+    }
+    if (best == K) return false;
+    if (!heap_pop(*shards[best], e)) return false;
+    ++sh.steals;
+    return true;
+  }
+
+  // ------------------------------------------------------------ budgeting
+
+  /// Draws a chunk of the shared speculation-claim counter. Claims throttle
+  /// how far the shards can run ahead; they are NOT the accounting of
+  /// record — the replay charges the real vertex budget exactly. A shard
+  /// may overdraft by one expansion.
+  bool refill_claims(Shard& sh) {
+    std::uint64_t cur = claimed.load(std::memory_order_relaxed);
+    while (cur < claim_cap) {
+      const std::uint64_t take =
+          std::min<std::uint64_t>(kClaimChunk, claim_cap - cur);
+      if (claimed.compare_exchange_weak(cur, cur + take,
+                                        std::memory_order_relaxed)) {
+        sh.claim_balance += static_cast<std::int64_t>(take);
+        return true;
+      }
+    }
+    return false;
+  }
+
+  // ----------------------------------------------------------- expansion
+
+  /// Moves `ps` (currently at `current`) to `target` via the lowest common
+  /// ancestor, exactly like the sequential engine's switch_to.
+  void switch_schedule(PartialSchedule& ps, std::uint64_t& current,
+                       std::vector<std::uint64_t>& chain,
+                       std::uint64_t target) {
+    chain.clear();
+    std::uint64_t a = current;
+    std::uint64_t b = target;
+    while (depth_of(b) > depth_of(a)) {
+      chain.push_back(b);
+      b = parent_of(b);
+    }
+    while (depth_of(a) > depth_of(b)) {
+      ps.pop();
+      a = parent_of(a);
+    }
+    while (a != b) {
+      ps.pop();
+      a = parent_of(a);
+      chain.push_back(b);
+      b = parent_of(b);
+    }
+    for (auto it = chain.rbegin(); it != chain.rend(); ++it) {
+      ps.push(resolve(*it)->assignment);
+    }
+    current = target;
+  }
+
+  /// Expands one claimed vertex on shard `sh`: full (budget-free)
+  /// expansion, memoized into the node record, successors created in
+  /// `sh`'s arena and published to its frontier.
+  void expand_node(Shard& sh, std::uint64_t id) {
+    switch_schedule(*sh.ps, sh.current, sh.chain, id);
+
+    std::uint64_t unlimited = kUnlimited;
+    SearchStats scratch;
+    const std::uint32_t out_cursor =
+        expand_mirror(config, *sh.ps, *batch, m, cursor_of(id), unlimited,
+                      scratch, sh.cands, sh.level_order);
+    const std::uint64_t charge = kUnlimited - unlimited;
+    sh.spec_vertices += charge;
+    ++sh.expansions;
+    sh.claim_balance -= static_cast<std::int64_t>(charge);
+
+    // Materialize successor records (sorted, best first — the order the
+    // replay reconstructs the sequential push sequence from).
+    const std::uint64_t child_begin = sh.child_pool.size();
+    const auto count = static_cast<std::uint32_t>(sh.cands.size());
+    const auto depth = static_cast<std::uint16_t>(sh.ps->depth() + 1);
+    const std::int64_t watermark =
+        incumbent_k1.load(std::memory_order_relaxed);
+    for (const Candidate& c : sh.cands) {
+      const std::uint64_t cid = create_node(sh);
+      PNode* nd = resolve(cid);
+      nd->parent = id;
+      nd->assignment = c.assignment;
+      nd->key1 = c.key1;
+      nd->key2 = c.key2;
+      nd->key3 = c.key3;
+      nd->depth = depth;
+      nd->order_cursor = static_cast<std::uint16_t>(out_cursor);
+      nd->charge = 0;
+      nd->child_count = 0;
+      nd->expanded = 0;
+      nd->claim.store(0, std::memory_order_relaxed);
+      sh.child_pool.push_back(cid);
+    }
+
+    // Record the expansion on the node itself (read post-round only).
+    if (id == kRootId) {
+      root_charge = charge;
+      root_child_shard = static_cast<std::uint16_t>(sh.index);
+      root_child_begin = child_begin;
+      root_child_count = count;
+      root_expanded = 1;
+    } else {
+      PNode* nd = resolve(id);
+      nd->charge = charge;
+      nd->child_shard = static_cast<std::uint16_t>(sh.index);
+      nd->child_begin = child_begin;
+      nd->child_count = count;
+      nd->expanded = 1;
+    }
+
+    // Publish successors to the frontier. Depth-first pushes worst first so
+    // the best candidate ends on top of the owner's stack (and thieves
+    // steal the shallowest/oldest); best-first inserts into the local heap,
+    // skipping entries the incumbent watermark already rules out.
+    if (config.strategy == SearchStrategy::kDepthFirst) {
+      if (count > 0) {
+        open.fetch_add(count, std::memory_order_relaxed);
+        for (std::uint32_t i = count; i-- > 0;) {
+          push_local(sh, sh.child_pool[child_begin + i]);
+        }
+      }
+    } else {
+      for (std::uint32_t i = 0; i < count; ++i) {
+        const std::uint64_t cid = sh.child_pool[child_begin + i];
+        const PNode* nd = resolve(cid);
+        if (nd->key1 > watermark) continue;  // insert-side prune
+        open.fetch_add(1, std::memory_order_relaxed);
+        heap_insert(sh, HeapEntry{nd->key1, nd->key2, nd->key3, cid});
+      }
+    }
+  }
+
+  /// Consumes one frontier copy of `id`: claim, expand or handle as leaf,
+  /// then retire the copy from the open count.
+  void process(Shard& sh, std::uint64_t id) {
+    if (claim_of(id).exchange(1, std::memory_order_acq_rel) != 0) {
+      open.fetch_sub(1, std::memory_order_relaxed);  // duplicate copy
+      return;
+    }
+    const std::uint32_t depth = depth_of(id);
+    if (depth == n) {
+      // A complete leaf. The sequential engine never expands leaves; for
+      // depth-first the round can stop (the replay decides whether this is
+      // THE leaf), for best-first it tightens the incumbent watermark.
+      if (config.strategy == SearchStrategy::kDepthFirst) {
+        round_stop.store(true, std::memory_order_relaxed);
+      } else {
+        const std::int64_t k1 = resolve(id)->key1;
+        std::int64_t cur = incumbent_k1.load(std::memory_order_relaxed);
+        while (k1 < cur && !incumbent_k1.compare_exchange_weak(
+                               cur, k1, std::memory_order_relaxed)) {
+        }
+      }
+      open.fetch_sub(1, std::memory_order_relaxed);
+      return;
+    }
+    if (sh.claim_balance <= 0 && !refill_claims(sh)) {
+      // Speculation cap reached: wind the round down. The copy is dropped
+      // (not repushed) — anything left unexplored is expanded inline by
+      // the replay at exactly sequential cost.
+      claim_of(id).store(0, std::memory_order_relaxed);
+      open.fetch_sub(1, std::memory_order_relaxed);
+      claims_exhausted.store(true, std::memory_order_relaxed);
+      return;
+    }
+    expand_node(sh, id);
+    open.fetch_sub(1, std::memory_order_relaxed);
+  }
+
+  // ---------------------------------------------------------------- round
+
+  /// One worker's share of the exploration round. Exits on: round stop
+  /// (DFS found a leaf), claim exhaustion, a drained frontier, or bounded
+  /// idleness. The idle bound makes termination unconditional — whatever
+  /// speculation is missing, the replay supplies inline.
+  void round(Shard& sh) {
+    constexpr int kIdleLimit = 256;
+    int idle = 0;
+    if (config.strategy == SearchStrategy::kDepthFirst) {
+      for (;;) {
+        if (round_stop.load(std::memory_order_relaxed)) break;
+        if (claims_exhausted.load(std::memory_order_relaxed)) break;
+        std::uint64_t id;
+        if (pop_local(sh, id) || steal_dfs(sh, id)) {
+          process(sh, id);
+          idle = 0;
+          continue;
+        }
+        if (open.load(std::memory_order_acquire) == 0) break;
+        if (++idle > kIdleLimit) break;
+        std::this_thread::yield();
+      }
+    } else {
+      for (;;) {
+        if (claims_exhausted.load(std::memory_order_relaxed)) break;
+        HeapEntry e;
+        if (heap_pop(sh, e) || steal_bf(sh, e)) {
+          process(sh, e.id);
+          idle = 0;
+          continue;
+        }
+        if (open.load(std::memory_order_acquire) == 0) break;
+        if (++idle > kIdleLimit) break;
+        std::this_thread::yield();
+      }
+    }
+  }
+
+  void ensure_pool() {
+    if (!pool.empty()) return;
+    pool.reserve(K - 1);
+    for (std::uint32_t i = 1; i < K; ++i) {
+      pool.emplace_back([this, i] {
+        std::unique_lock<std::mutex> lk(pool_mu);
+        std::uint64_t seen = 0;
+        for (;;) {
+          cv_start.wait(lk, [&] { return stop || epoch != seen; });
+          if (stop) return;
+          seen = epoch;
+          lk.unlock();
+          round(*shards[i]);
+          lk.lock();
+          if (--running == 0) cv_done.notify_all();
+        }
+      });
+    }
+  }
+
+  /// Runs the speculative exploration round across all K shards (the
+  /// caller's thread works shard 0) and blocks until every worker has
+  /// parked. The pool mutex hand-off makes all shard writes visible to the
+  /// replay.
+  void run_round() {
+    ensure_pool();
+    {
+      std::lock_guard<std::mutex> lk(pool_mu);
+      running = K - 1;
+      ++epoch;
+    }
+    cv_start.notify_all();
+    round(*shards[0]);
+    std::unique_lock<std::mutex> lk(pool_mu);
+    cv_done.wait(lk, [&] { return running == 0; });
+  }
+
+  // --------------------------------------------------------------- replay
+
+  /// Pushes `id`'s recorded children onto the replay list exactly as the
+  /// sequential engine pushes a sorted successor group: reverse order
+  /// (worst first), one seq number per push.
+  void replay_push_children(std::uint64_t id, std::uint64_t& seq) {
+    const Shard* sh;
+    std::uint64_t begin;
+    std::uint32_t count;
+    if (id == kRootId) {
+      sh = shards[root_child_shard].get();
+      begin = root_child_begin;
+      count = root_child_count;
+    } else {
+      const PNode* nd = resolve(id);
+      sh = shards[nd->child_shard].get();
+      begin = nd->child_begin;
+      count = nd->child_count;
+    }
+    for (std::uint32_t i = count; i-- > 0;) {
+      const std::uint64_t cid = sh->child_pool[begin + i];
+      const PNode* c = resolve(cid);
+      rcl.push(ReplayList::Entry{c->key1, c->key2, c->key3, seq++, cid});
+    }
+  }
+
+  /// Inline expansion for a vertex the memo cache cannot answer — either
+  /// never expanded by the shards, or recorded with a charge above the
+  /// remaining budget (the budget-death vertex, whose expansion must be
+  /// budget-interleaved). The replay's own PartialSchedule is already AT
+  /// the vertex, so this is literally the sequential engine's expansion:
+  /// real budget, real stats, fresh successor nodes in shard 0's arena
+  /// (safe — all workers are parked).
+  void replay_expand_inline(std::uint64_t id, std::uint64_t& budget_left,
+                            SearchStats& stats, std::uint64_t& seq) {
+    const std::uint32_t out_cursor = expand_mirror(
+        config, *replay_ps, *batch, m, cursor_of(id), budget_left, stats,
+        replay_cands, replay_level_order);
+    ++last_stats.replay_fills;
+
+    Shard& sh0 = *shards[0];
+    const auto depth = static_cast<std::uint16_t>(replay_ps->depth() + 1);
+    for (auto it = replay_cands.rbegin(); it != replay_cands.rend(); ++it) {
+      const std::uint64_t cid = create_node(sh0);
+      PNode* nd = resolve(cid);
+      nd->parent = id;
+      nd->assignment = it->assignment;
+      nd->key1 = it->key1;
+      nd->key2 = it->key2;
+      nd->key3 = it->key3;
+      nd->depth = depth;
+      nd->order_cursor = static_cast<std::uint16_t>(out_cursor);
+      nd->charge = 0;
+      nd->child_count = 0;
+      nd->expanded = 0;
+      nd->claim.store(1, std::memory_order_relaxed);  // replay-owned
+      rcl.push(ReplayList::Entry{it->key1, it->key2, it->key3, seq++, cid});
+    }
+  }
+
+  /// Deterministic replay: re-executes the sequential engine's main loop,
+  /// substituting each expansion with its memoized record when the record
+  /// is usable (expanded, and recorded charge <= remaining budget — in
+  /// which case the budgeted expansion provably equals the unconstrained
+  /// one) and expanding inline otherwise. Structurally this IS
+  /// SearchEngine::run with a cache in front of expand_current, which is
+  /// why the result is bit-identical for every budget.
+  void replay(const std::vector<SimDuration>& base_loads,
+              SimTime delivery_time, std::uint64_t vertex_budget,
+              SearchResult& result) {
+    SearchStats& stats = result.stats;
+    std::uint64_t budget_left = vertex_budget;
+    rcl.reset(config.strategy);
+    std::uint64_t seq = 0;
+
+    replay_ps = std::make_unique<PartialSchedule>(batch, base_loads,
+                                                  delivery_time, net);
+    replay_ps->set_consideration_order(order);
+    replay_current = kRootId;
+
+    std::uint64_t current = kRootId;
+    std::uint64_t best = kInvalidId;
+    std::uint32_t best_depth = 0;
+    SimDuration best_ce = SimDuration::max();
+
+    while (true) {
+      if (budget_left == 0) {
+        stats.budget_exhausted = true;
+        break;
+      }
+      if (expanded_of(current)) {
+        const std::uint64_t charge =
+            current == kRootId ? root_charge : resolve(current)->charge;
+        if (charge <= budget_left) {
+          budget_left -= charge;
+          stats.vertices_generated += charge;
+          ++stats.expansions;
+          replay_push_children(current, seq);
+        } else {
+          replay_expand_inline(current, budget_left, stats, seq);
+        }
+      } else {
+        replay_expand_inline(current, budget_left, stats, seq);
+      }
+
+      if (rcl.empty()) {
+        if (!replay_ps->complete()) stats.dead_end = true;
+        break;
+      }
+      const std::uint64_t next = rcl.pop();
+      if (parent_of(next) != current) ++stats.backtracks;
+      switch_schedule(*replay_ps, replay_current, replay_chain, next);
+      current = next;
+
+      if (replay_ps->depth() > stats.max_depth) {
+        stats.max_depth = replay_ps->depth();
+      }
+      const bool deeper = replay_ps->depth() > best_depth;
+      const bool same_depth_better = replay_ps->depth() == best_depth &&
+                                     replay_ps->max_ce() < best_ce;
+      if (best == kInvalidId || deeper || same_depth_better) {
+        best = current;
+        best_depth = replay_ps->depth();
+        best_ce = replay_ps->max_ce();
+      }
+
+      if (replay_ps->complete()) {
+        stats.reached_leaf = true;
+        break;
+      }
+    }
+
+    const std::uint64_t chosen = config.return_deepest ? best : current;
+    std::vector<Assignment> out;
+    if (chosen != kInvalidId) {
+      for (std::uint64_t v = chosen; v != kRootId; v = parent_of(v)) {
+        out.push_back(resolve(v)->assignment);
+      }
+    }
+    std::reverse(out.begin(), out.end());
+    result.schedule = std::move(out);
+    replay_ps.reset();
+  }
+};
+
+// ------------------------------------------------------------------------
+// Public surface.
+// ------------------------------------------------------------------------
+
+ParallelSearchEngine::ParallelSearchEngine(SearchConfig config,
+                                           std::uint32_t threads,
+                                           std::uint64_t base_seed)
+    : config_(config), threads_(threads), sequential_(config) {
+  RTDS_REQUIRE(threads_ >= 1 && threads_ <= 64,
+               "ParallelSearchEngine: threads must be in [1, 64]");
+  if (threads_ > 1) {
+    impl_ = std::make_unique<Impl>(config, threads_, base_seed);
+  }
+}
+
+ParallelSearchEngine::~ParallelSearchEngine() = default;
+
+const ParallelRunStats& ParallelSearchEngine::last_run_stats() const {
+  static const ParallelRunStats kEmpty;
+  return impl_ ? impl_->last_stats : kEmpty;
+}
+
+SearchResult ParallelSearchEngine::run(
+    const std::vector<Task>& batch,
+    const std::vector<SimDuration>& base_loads, SimTime delivery_time,
+    const machine::Interconnect& net, std::uint64_t vertex_budget) const {
+  if (threads_ == 1) {
+    return sequential_.run(batch, base_loads, delivery_time, net,
+                           vertex_budget);
+  }
+  Impl& im = *impl_;
+  std::lock_guard<std::mutex> run_lock(im.run_mu);
+
+  SearchResult result;
+  if (batch.empty() || vertex_budget == 0) return result;
+  RTDS_REQUIRE(batch.size() <= 65535,
+               "ParallelSearchEngine: phase batch above 65535 tasks");
+
+  // -- per-run setup ------------------------------------------------------
+  im.batch = &batch;
+  im.net = &net;
+  im.n = static_cast<std::uint32_t>(batch.size());
+  im.m = net.num_workers();
+  if (config_.task_order == TaskOrder::kBatchOrder) {
+    im.order_storage.clear();
+  } else {
+    task_consideration_order_into(batch, config_.task_order,
+                                  im.order_storage);
+  }
+  im.order = im.order_storage.empty() ? nullptr : im.order_storage.data();
+
+  // Speculation cap: generous enough that the round usually covers the
+  // sequential engine's budgeted prefix despite thieves speculating past
+  // it. Saturating arithmetic — "unconstrained" callers pass huge budgets.
+  const std::uint64_t slack = vertex_budget / 2 +
+                              std::uint64_t(im.K) * kClaimChunk;
+  im.claim_cap = vertex_budget > kUnlimited - slack ? kUnlimited
+                                                    : vertex_budget + slack;
+
+  im.open.store(0, std::memory_order_relaxed);
+  im.claimed.store(0, std::memory_order_relaxed);
+  im.round_stop.store(false, std::memory_order_relaxed);
+  im.claims_exhausted.store(false, std::memory_order_relaxed);
+  im.incumbent_k1.store(std::numeric_limits<std::int64_t>::max(),
+                        std::memory_order_relaxed);
+  im.root_claim.store(0, std::memory_order_relaxed);
+  im.root_expanded = 0;
+  im.root_charge = 0;
+  im.root_child_count = 0;
+  im.last_stats = ParallelRunStats{};
+
+  for (std::uint32_t i = 0; i < im.K; ++i) {
+    Shard& sh = *im.shards[i];
+    sh.node_count = 0;
+    sh.child_pool.clear();
+    sh.deque.reset();
+    sh.spill.clear();
+    sh.heap.clear();
+    sh.heap_min_k1.store(std::numeric_limits<std::int64_t>::max(),
+                         std::memory_order_relaxed);
+    sh.ps = std::make_unique<PartialSchedule>(&batch, base_loads,
+                                              delivery_time, &net);
+    sh.ps->set_consideration_order(im.order);
+    sh.current = kRootId;
+    sh.claim_balance = 0;
+    sh.rng_state = parallel_shard_seed(im.base_seed, i) | 1;
+    sh.spec_vertices = 0;
+    sh.expansions = 0;
+    sh.steals = 0;
+  }
+
+  // Seed the root on shard 0, speculate in parallel, then merge by replay.
+  im.open.fetch_add(1, std::memory_order_relaxed);
+  if (config_.strategy == SearchStrategy::kDepthFirst) {
+    im.push_local(*im.shards[0], kRootId);
+  } else {
+    im.heap_insert(*im.shards[0],
+                   HeapEntry{std::numeric_limits<std::int64_t>::min(),
+                             std::numeric_limits<std::int64_t>::min(), 0,
+                             kRootId});
+  }
+  im.run_round();
+  im.last_stats.rounds = 1;
+  im.replay(base_loads, delivery_time, vertex_budget, result);
+
+  for (std::uint32_t i = 0; i < im.K; ++i) {
+    Shard& sh = *im.shards[i];
+    im.last_stats.speculative_vertices += sh.spec_vertices;
+    im.last_stats.nodes_expanded += sh.expansions;
+    im.last_stats.steals += sh.steals;
+    sh.ps.reset();
+  }
+  im.batch = nullptr;
+  im.net = nullptr;
+  return result;
+}
+
+}  // namespace rtds::search

@@ -1,0 +1,104 @@
+// Parallel sharded search over the task-space tree (ROADMAP: "Shard the
+// scheduler itself").
+//
+// K worker threads speculatively explore the tree, each owning a private
+// shard: a chunked node arena, a Chase-Lev work-stealing deque of packed
+// 64-bit node ids (depth-first), or a 4-ary heap over its slice of the
+// frontier (best-first) with a relaxed-atomic incumbent watermark for
+// pruning. Every expansion's outcome — charge, successor records, sort
+// keys — is memoized in the expanding shard's arena.
+//
+// The merge is a *deterministic replay*: after the shards quiesce, a
+// sequential walk re-executes the sequential engine's exact loop (same
+// candidate-list order, same budget charging, same best-path
+// tie-breaking) with a memo cache in front of the expansion step. A
+// vertex whose record is usable (explored, and its recorded charge fits
+// the remaining budget) replays at pointer-chasing cost; any other vertex
+// — unexplored, pruned away, or the one where the budget dies
+// mid-expansion — is expanded inline by the replay itself, which is by
+// construction exactly what the sequential engine would do there. The
+// returned SearchResult is therefore bit-identical to SearchEngine::run
+// for every vertex budget, independent of K and of thread timing:
+// exploration order, steals, and victim randomization affect only how
+// much of the replay is a cache hit, never the result
+// (docs/ARCHITECTURE.md, "Parallel search").
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "common/rng.h"
+#include "search/engine.h"
+
+namespace rtds::search {
+
+/// Exploration-side counters for the most recent run. These describe the
+/// speculative work the shards performed and are NOT part of the
+/// deterministic contract (the SearchResult's SearchStats are reconstructed
+/// by the replay); they exist for benchmarking and diagnostics.
+struct ParallelRunStats {
+  /// Vertices evaluated by the shards (>= the budgeted vertices_generated:
+  /// speculation past the sequential frontier is wasted-but-harmless work).
+  std::uint64_t speculative_vertices{0};
+  std::uint64_t nodes_expanded{0};
+  std::uint64_t steals{0};
+  /// Exploration rounds run (1 per parallel run; 0 when threads == 1
+  /// delegated to the sequential engine).
+  std::uint64_t rounds{0};
+  /// Expansions the replay performed inline because the memo cache could
+  /// not answer (vertex unexplored/pruned, or the budget-death vertex).
+  /// 0 means the round covered the sequential prefix entirely.
+  std::uint64_t replay_fills{0};
+};
+
+/// RNG substream for shard-local randomized tie handling (steal-victim
+/// order). Derivation is pinned by tests so shard behaviour is replayable.
+inline constexpr std::uint64_t kParallelShardStream =
+    stream_id("search.parallel.shard");
+
+[[nodiscard]] inline std::uint64_t parallel_shard_seed(std::uint64_t base_seed,
+                                                       std::uint32_t shard) {
+  return derive_seed(base_seed, kParallelShardStream, shard);
+}
+
+/// Parallel drop-in for SearchEngine. threads == 1 delegates to the
+/// sequential engine outright. One engine owns one persistent thread pool
+/// (spawned lazily on the first parallel run); run() is serialized per
+/// instance but distinct instances are independent.
+class ParallelSearchEngine {
+ public:
+  /// `threads` in [1, 64]. `base_seed` seeds the per-shard RNG substreams
+  /// via parallel_shard_seed (results never depend on it — see header
+  /// comment — so the default is fine for all production use).
+  explicit ParallelSearchEngine(SearchConfig config, std::uint32_t threads,
+                                std::uint64_t base_seed = 0);
+  ~ParallelSearchEngine();
+
+  ParallelSearchEngine(const ParallelSearchEngine&) = delete;
+  ParallelSearchEngine& operator=(const ParallelSearchEngine&) = delete;
+
+  [[nodiscard]] const SearchConfig& config() const { return config_; }
+  [[nodiscard]] std::uint32_t threads() const { return threads_; }
+
+  /// Same contract as SearchEngine::run, bit-identical results for every
+  /// budget. Thread-safe via internal serialization.
+  [[nodiscard]] SearchResult run(const std::vector<Task>& batch,
+                                 const std::vector<SimDuration>& base_loads,
+                                 SimTime delivery_time,
+                                 const machine::Interconnect& net,
+                                 std::uint64_t vertex_budget) const;
+
+  /// Exploration counters for the most recent run() on this engine. Not
+  /// synchronized with concurrent run() calls; read from the calling thread
+  /// after run() returns.
+  [[nodiscard]] const ParallelRunStats& last_run_stats() const;
+
+ private:
+  struct Impl;
+  SearchConfig config_;
+  std::uint32_t threads_;
+  SearchEngine sequential_;  ///< threads == 1 delegation path
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace rtds::search

@@ -160,9 +160,14 @@ Scenario generate_scenario(std::uint64_t base_seed, std::uint64_t index) {
   // Weighted portfolio mix: the paper's two search schedulers keep most of
   // the probability mass, the partitioned and greedy entrants share the
   // rest so every registry family is continuously enrolled in the oracles.
+  // Two slices run the parallel sharded engine (bit-identical to
+  // sequential), keeping it continuously under every oracle and both
+  // backends.
   const double algo_roll = rng.uniform_double();
-  s.algo_spec = algo_roll < 0.30   ? "rt_sads"
-                : algo_roll < 0.45 ? "d_cols"
+  s.algo_spec = algo_roll < 0.22   ? "rt_sads"
+                : algo_roll < 0.30 ? "rt_sads?threads=4"
+                : algo_roll < 0.38 ? "d_cols"
+                : algo_roll < 0.45 ? "search?threads=2"
                 : algo_roll < 0.52 ? "d_cols?max_successors=4"
                 : algo_roll < 0.62 ? "packing"
                 : algo_roll < 0.69 ? "packing?fit=best&order=lpt"

@@ -99,6 +99,7 @@ TEST(PhaseTraceTest, CsvHasHeaderAndOneLinePerPhase) {
   EXPECT_EQ(std::size_t(std::count(out.begin(), out.end(), '\n')),
             r.trace.records().size() + 1);
   EXPECT_NE(out.find("phase,start_us"), std::string::npos);
+  EXPECT_NE(out.find("threads,algorithm"), std::string::npos);
 }
 
 TEST(PhaseTraceTest, ClearResets) {
