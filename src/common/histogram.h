@@ -34,7 +34,11 @@ class Histogram {
   }
 
   /// Approximate q-quantile (q in [0,1]) by linear interpolation within the
-  /// bucket containing the rank. Underflow maps to lo, overflow to hi.
+  /// bucket containing the rank. Ranks inside the underflow mass map to lo,
+  /// ranks inside the overflow mass to hi; with no underflow, q = 0 is the
+  /// lower edge of the first non-empty bucket (and symmetrically, with no
+  /// overflow q = 1 is the upper edge of the last non-empty bucket), so
+  /// empty leading/trailing bucket runs never distort the extremes.
   /// Requires a non-empty histogram.
   [[nodiscard]] double quantile(double q) const;
 

@@ -54,7 +54,15 @@ class RingBuffer {
     return slots_[head_];
   }
 
-  void clear() { head_ = tail_ = 0; }
+  /// Empties the buffer AND value-resets the occupied slots: a cleared
+  /// buffer must not keep moved-in elements (and whatever they own) alive
+  /// until the slot happens to be overwritten.
+  void clear() {
+    for (; head_ != tail_; head_ = (head_ + 1) % slots_.size()) {
+      slots_[head_] = T{};
+    }
+    head_ = tail_ = 0;
+  }
 
  private:
   std::vector<T> slots_;

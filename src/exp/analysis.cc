@@ -50,6 +50,9 @@ std::string ConservationReport::to_string() const {
   os << "offered " << total << " = hits " << deadline_hits
      << " + exec misses " << exec_misses << " + culled " << culled
      << " + rejected " << rejected;
+  if (admission_rejected > 0) {
+    os << " + admission rejected " << admission_rejected;
+  }
   if (unaccounted > 0) {
     os << " + UNACCOUNTED " << unaccounted << " (conservation violated)";
   }
@@ -64,6 +67,7 @@ ConservationReport conservation_report(const sched::TaskLedger& ledger) {
   out.exec_misses = c.exec_misses;
   out.culled = c.culled;
   out.rejected = c.rejected;
+  out.admission_rejected = c.admission_rejected;
   out.unaccounted = c.in_flight;
   return out;
 }
@@ -75,8 +79,10 @@ ConservationReport conservation_report(const sched::RunMetrics& metrics) {
   out.exec_misses = metrics.exec_misses;
   out.culled = metrics.culled;
   out.rejected = metrics.rejected;
+  out.admission_rejected = metrics.admission_rejected;
   const std::uint64_t accounted = out.deadline_hits + out.exec_misses +
-                                  out.culled + out.rejected;
+                                  out.culled + out.rejected +
+                                  out.admission_rejected;
   out.unaccounted = out.total > accounted ? out.total - accounted : 0;
   return out;
 }

@@ -16,6 +16,7 @@ const char* to_string(TaskState state) {
     case TaskState::kExecMiss: return "exec_miss";
     case TaskState::kCulled: return "culled";
     case TaskState::kRejected: return "rejected";
+    case TaskState::kAdmissionRejected: return "admission_rejected";
   }
   return "unknown";
 }
@@ -58,6 +59,12 @@ void TaskLedger::reject(tasks::TaskId id) {
   --counts_.in_flight;
 }
 
+void TaskLedger::reject_admission(tasks::TaskId id) {
+  transition(id, TaskState::kArrived, TaskState::kAdmissionRejected);
+  ++counts_.admission_rejected;
+  --counts_.in_flight;
+}
+
 void TaskLedger::execute(tasks::TaskId id, bool hit) {
   transition(id, TaskState::kDelivered,
              hit ? TaskState::kDeadlineHit : TaskState::kExecMiss);
@@ -85,8 +92,9 @@ void TaskLedger::check_conserved() const {
   os << "task conservation violated: total " << counts_.total
      << " != deadline_hits " << counts_.deadline_hits << " + exec_misses "
      << counts_.exec_misses << " + culled " << counts_.culled
-     << " + rejected " << counts_.rejected << " (in flight "
-     << counts_.in_flight << ")";
+     << " + rejected " << counts_.rejected << " + admission_rejected "
+     << counts_.admission_rejected << " (in flight " << counts_.in_flight
+     << ")";
   RTDS_CHECK_MSG(false, os.str());
 }
 

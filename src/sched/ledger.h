@@ -8,14 +8,17 @@
 // hole by tracking every task through an explicit lifecycle:
 //
 //   arrived → batched → scheduled → delivered → {deadline_hit, exec_miss}
-//                │           │
-//                │           ├─ dropped (delivery refused) → batched again
-//                │           └─ rejected (delivery attempts exhausted)
-//                └─ culled   (deadline unreachable before scheduling)
+//      │         │           │
+//      │         │           ├─ dropped (delivery refused) → batched again
+//      │         │           └─ rejected (delivery attempts exhausted)
+//      │         └─ culled   (deadline unreachable before scheduling)
+//      └─ admission_rejected (open-system admission control turned the
+//                             task away at the door; never batched)
 //
 // and enforcing the conservation invariant at drain time:
 //
 //   total_tasks == deadline_hits + exec_misses + culled + rejected
+//                  + admission_rejected
 //
 // The pipeline (sched/pipeline.cc) drives the pre-delivery transitions;
 // each ExecutionBackend reports the per-task terminal outcome (hit/miss)
@@ -34,8 +37,9 @@
 
 namespace rtds::sched {
 
-/// Lifecycle state of one task. kDeadlineHit, kExecMiss, kCulled and
-/// kRejected are terminal; everything else is in flight.
+/// Lifecycle state of one task. kDeadlineHit, kExecMiss, kCulled,
+/// kRejected and kAdmissionRejected are terminal; everything else is in
+/// flight.
 enum class TaskState : std::uint8_t {
   kArrived,      ///< offered to the pipeline, not yet in a batch
   kBatched,      ///< pending in the current batch (also after a drop)
@@ -45,6 +49,7 @@ enum class TaskState : std::uint8_t {
   kExecMiss,     ///< executed but missed (theorem: 0 on the DES)
   kCulled,       ///< dropped from a batch, deadline unreachable
   kRejected,     ///< delivery refused max_delivery_attempts times
+  kAdmissionRejected,  ///< turned away at admission (open system, full queue)
 };
 
 [[nodiscard]] const char* to_string(TaskState state);
@@ -56,6 +61,9 @@ struct LedgerCounts {
   std::uint64_t exec_misses{0};
   std::uint64_t culled{0};
   std::uint64_t rejected{0};
+  /// Open-system admission control turned the task away before it entered
+  /// any batch. Always 0 in closed (whole-workload) runs.
+  std::uint64_t admission_rejected{0};
   std::uint64_t in_flight{0};  ///< tasks not yet in a terminal state
 
   // Transition event counters (a task can contribute several). They exist
@@ -71,7 +79,8 @@ struct LedgerCounts {
   /// Every offered task reached exactly one terminal state.
   [[nodiscard]] bool conserved() const {
     return in_flight == 0 &&
-           total == deadline_hits + exec_misses + culled + rejected;
+           total == deadline_hits + exec_misses + culled + rejected +
+                        admission_rejected;
   }
 };
 
@@ -88,6 +97,7 @@ class TaskLedger {
   void drop(tasks::TaskId id);               ///< scheduled → batched (readmit)
   void cull(tasks::TaskId id);               ///< batched → culled
   void reject(tasks::TaskId id);             ///< scheduled → rejected
+  void reject_admission(tasks::TaskId id);   ///< arrived → admission_rejected
   void execute(tasks::TaskId id, bool hit);  ///< delivered → hit | miss
 
   // -- inspection -----------------------------------------------------------

@@ -30,12 +30,34 @@ RunMetrics PhasePipeline::run(const std::vector<Task>& workload,
     RTDS_REQUIRE(workload[i - 1].arrival <= workload[i].arrival,
                  "PhasePipeline: workload must be sorted by arrival");
   }
+  tasks::VectorArrivalSource source(workload);
+  // Closed run == open run over the exhaustible vector source, with
+  // admission control off and no latency accounting.
+  return run_core(source, backend, StreamOptions{}, nullptr, observer,
+                  external_ledger);
+}
 
+RunMetrics PhasePipeline::run_stream(tasks::ArrivalSource& source,
+                                     ExecutionBackend& backend,
+                                     const StreamOptions& options,
+                                     StreamStats* stats,
+                                     PhaseObserver* observer,
+                                     TaskLedger* external_ledger) const {
+  return run_core(source, backend, options, stats, observer, external_ledger);
+}
+
+RunMetrics PhasePipeline::run_core(tasks::ArrivalSource& source,
+                                   ExecutionBackend& backend,
+                                   const StreamOptions& options,
+                                   StreamStats* stats,
+                                   PhaseObserver* observer,
+                                   TaskLedger* external_ledger) const {
   RunMetrics metrics;
   metrics.algorithm = algorithm_.name();
   metrics.threads = algorithm_.threads();
-  metrics.total_tasks = workload.size();
-  if (workload.empty()) {
+
+  const std::optional<SimTime> first_arrival = source.peek();
+  if (!first_arrival.has_value()) {
     metrics.finish_time = backend.now();
     return metrics;
   }
@@ -46,34 +68,51 @@ RunMetrics PhasePipeline::run(const std::vector<Task>& workload,
   backend.bind_ledger(&ledger);
 
   tasks::Batch batch;
-  std::size_t cursor = 0;
   const SimDuration vcost = config_.vertex_generation_cost;
   const std::uint32_t num_workers = backend.num_workers();
   // Reused across phases: schedule_phase borrows it by const reference.
   std::vector<SimDuration> base_loads(num_workers);
-  // Deliveries refused so far, per task: a task whose budget is spent is
-  // retired as rejected instead of readmitted.
+  // Deliveries refused so far, per PENDING task: a task whose budget is
+  // spent is retired as rejected instead of readmitted. Entries are erased
+  // as tasks reach terminal states — under open arrivals this map would
+  // otherwise grow with every task ever refused, for the whole run.
   std::unordered_map<tasks::TaskId, std::uint32_t> delivery_attempts;
 
   // Nothing to do before the first arrival.
-  backend.wait_until(workload.front().arrival);
+  backend.wait_until(*first_arrival);
 
   while (true) {
     const SimTime t = backend.now();
 
-    // Form Batch(j): merge tasks that arrived up to now, cull unreachable.
+    // Form Batch(j): pull tasks that arrived up to now from the source
+    // (through admission control), merge them, cull unreachable.
     std::vector<Task> arrived;
-    while (cursor < workload.size() && workload[cursor].arrival <= t) {
-      arrived.push_back(workload[cursor]);
-      ++cursor;
-    }
-    for (const Task& task : arrived) {
+    std::uint64_t admission_rejected_now = 0;
+    while (true) {
+      const std::optional<SimTime> next_arrival = source.peek();
+      if (!next_arrival.has_value() || *next_arrival > t) break;
+      Task task = source.next();
       ledger.arrive(task.id);
+      metrics.total_tasks += 1;
+      if (options.max_pending != 0 &&
+          batch.size() + arrived.size() >= options.max_pending) {
+        // Full house: turn the task away at the door. Rejecting the NEW
+        // arrival (rather than evicting a pending task) keeps admission
+        // decisions final — no admitted task is ever un-admitted.
+        ledger.reject_admission(task.id);
+        metrics.admission_rejected += 1;
+        admission_rejected_now += 1;
+        continue;
+      }
       ledger.admit(task.id);
+      arrived.push_back(std::move(task));
     }
     batch.merge_arrivals(arrived);
     const std::vector<Task> culled_tasks = batch.cull_missed(t);
-    for (const Task& task : culled_tasks) ledger.cull(task.id);
+    for (const Task& task : culled_tasks) {
+      ledger.cull(task.id);
+      delivery_attempts.erase(task.id);  // culled == terminal
+    }
     metrics.culled += culled_tasks.size();
 
     PhaseRecord record;
@@ -83,12 +122,14 @@ RunMetrics PhasePipeline::run(const std::vector<Task>& workload,
     record.start = t;
     record.arrivals = arrived.size();
     record.culled = culled_tasks.size();
+    record.admission_rejected = admission_rejected_now;
     record.batch_size = batch.size();
 
     if (batch.empty()) {
-      if (cursor >= workload.size()) break;  // pipeline drained
+      const std::optional<SimTime> next_arrival = source.peek();
+      if (!next_arrival.has_value()) break;  // pipeline drained
       // Sleep until the next arrival.
-      backend.wait_until(workload[cursor].arrival);
+      backend.wait_until(*next_arrival);
       continue;
     }
 
@@ -186,6 +227,7 @@ RunMetrics PhasePipeline::run(const std::vector<Task>& workload,
       const std::uint32_t attempts = ++delivery_attempts[refused.task.id];
       if (config_.max_delivery_attempts != 0 &&
           attempts >= config_.max_delivery_attempts) {
+        delivery_attempts.erase(refused.task.id);  // rejected == terminal
         ledger.reject(refused.task.id);
         metrics.rejected += 1;
         rejected_now += 1;
@@ -200,12 +242,20 @@ RunMetrics PhasePipeline::run(const std::vector<Task>& workload,
           min_refused_load, backend.load(refused.worker, backend.now()));
     }
     // Everything scheduled this phase that was neither readmitted nor
-    // rejected was accepted by the backend.
+    // rejected was accepted by the backend. The accepted deliveries are
+    // where schedule latency is measured: the clock now reads t_e, the
+    // instant S_j landed in the worker ready queues.
     std::unordered_set<tasks::TaskId> refused_ids;
     for (const machine::ScheduledAssignment& refused : delivered.undelivered)
       refused_ids.insert(refused.task.id);
-    for (const tasks::TaskId id : scheduled_ids) {
-      if (refused_ids.count(id) == 0) ledger.deliver(id);
+    for (const machine::ScheduledAssignment& accepted : delivery) {
+      if (refused_ids.count(accepted.task.id) != 0) continue;
+      ledger.deliver(accepted.task.id);
+      delivery_attempts.erase(accepted.task.id);  // delivered == terminal
+      if (stats != nullptr) {
+        stats->schedule_latency.add(
+            double((backend.now() - accepted.task.arrival).us));
+      }
     }
     batch.remove_scheduled(retired_ids);
 
@@ -233,11 +283,13 @@ RunMetrics PhasePipeline::run(const std::vector<Task>& workload,
     // and never longer than the batch's min slack (waiting must not by
     // itself make a pending task unreachable).
     if (readmitted_now > 0 && !config_.delivery_backpressure.is_zero()) {
-      SimDuration pause = min_refused_load;
+      // Floor first, slack cap last: the cap is the safety bound and must
+      // win when the configured floor exceeds the batch's min slack.
+      SimDuration pause =
+          max_duration(min_refused_load, config_.delivery_backpressure);
       if (!batch.empty()) {
         pause = min_duration(pause, batch.min_slack(backend.now()));
       }
-      pause = max_duration(pause, config_.delivery_backpressure);
       backend.wait_until(backend.now() + pause);
       metrics.backpressure_waits += 1;
     }
@@ -253,6 +305,9 @@ RunMetrics PhasePipeline::run(const std::vector<Task>& workload,
 
   // Task conservation: every offered task is in exactly one terminal state
   // and the ledger agrees with the aggregate metrics.
+  RTDS_CHECK_MSG(delivery_attempts.empty(),
+                 "delivery_attempts retained entries for terminal tasks at "
+                 "drain (leak under open arrivals)");
   ledger.check_conserved();
   const LedgerCounts& counts = ledger.counts();
   RTDS_ASSERT(counts.total == metrics.total_tasks);
@@ -260,9 +315,10 @@ RunMetrics PhasePipeline::run(const std::vector<Task>& workload,
   RTDS_ASSERT(counts.exec_misses == metrics.exec_misses);
   RTDS_ASSERT(counts.culled == metrics.culled);
   RTDS_ASSERT(counts.rejected == metrics.rejected);
-  RTDS_ASSERT(metrics.total_tasks == metrics.deadline_hits +
-                                         metrics.exec_misses +
-                                         metrics.culled + metrics.rejected);
+  RTDS_ASSERT(counts.admission_rejected == metrics.admission_rejected);
+  RTDS_ASSERT(metrics.total_tasks ==
+              metrics.deadline_hits + metrics.exec_misses + metrics.culled +
+                  metrics.rejected + metrics.admission_rejected);
   return metrics;
 }
 

@@ -24,16 +24,19 @@
 // backends (sched/backend.h) supply time, worker loads and delivery.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <string>
 #include <vector>
 
+#include "common/histogram.h"
 #include "common/time.h"
 #include "sched/algorithm.h"
 #include "sched/backend.h"
 #include "sched/ledger.h"
 #include "sched/quantum.h"
 #include "sched/trace.h"
+#include "tasks/arrival_source.h"
 #include "tasks/task.h"
 
 namespace rtds::sched {
@@ -62,6 +65,10 @@ struct RunMetrics {
   /// Tasks retired explicitly after delivery was refused
   /// `max_delivery_attempts` times (bounded-mailbox backends only).
   std::uint64_t rejected{0};
+  /// Arrivals turned away at the door by open-system admission control
+  /// (run_stream with StreamOptions::max_pending; always 0 in closed runs).
+  /// Admission-rejected tasks are counted in total_tasks but never batched.
+  std::uint64_t admission_rejected{0};
   /// Delivery refusals by a full ready queue (bounded-mailbox backends;
   /// always 0 on the DES backends). An event counter: one task dropped and
   /// readmitted n times contributes n. Counted loudly, never blocks the
@@ -108,10 +115,10 @@ struct RunMetrics {
                : double(deadline_hits) / double(total_tasks);
   }
   /// Tasks that did not hit their deadline. Under the conservation
-  /// invariant (total == hits + exec_misses + culled + rejected) this is
-  /// exactly total_tasks - deadline_hits.
+  /// invariant (total == hits + exec_misses + culled + rejected +
+  /// admission_rejected) this is exactly total_tasks - deadline_hits.
   [[nodiscard]] std::uint64_t misses() const {
-    return exec_misses + culled + rejected;
+    return exec_misses + culled + rejected + admission_rejected;
   }
 };
 
@@ -151,6 +158,38 @@ struct PipelineConfig {
 /// Historic name from when this struct configured PhaseScheduler only.
 using DriverConfig = PipelineConfig;
 
+/// Open-system service knobs for PhasePipeline::run_stream.
+struct StreamOptions {
+  /// Admission control: an arrival is turned away — counted as
+  /// admission_rejected, never batched — when the pending batch already
+  /// holds this many tasks. This is what bounds the host's memory when the
+  /// offered rate exceeds what the cluster can drain: without it an
+  /// overloaded open system grows its batch (and its per-phase search
+  /// input) without limit. 0 disables admission control.
+  std::size_t max_pending{0};
+
+  /// Shape of the schedule-latency histogram (arrival → delivery
+  /// acceptance, microseconds) run_stream records into StreamStats.
+  double latency_lo_us{0.0};
+  double latency_hi_us{1.0e6};
+  std::size_t latency_buckets{200};
+};
+
+/// Streaming-only outputs of a run. Closed runs have no schedule latency:
+/// with the whole workload present up front, arrival → delivery time is an
+/// artifact of batch order, not service behavior.
+struct StreamStats {
+  explicit StreamStats(const StreamOptions& options)
+      : schedule_latency(options.latency_lo_us, options.latency_hi_us,
+                         options.latency_buckets) {}
+
+  /// Per-task arrival → delivery-acceptance latency, recorded at t_e for
+  /// every assignment the backend accepted. A readmitted task is recorded
+  /// once, at the delivery that finally succeeded — the refused attempts
+  /// are part of its latency, not separate samples.
+  Histogram schedule_latency;
+};
+
 /// Drives a PhaseAlgorithm + QuantumPolicy over an ExecutionBackend.
 class PhasePipeline {
  public:
@@ -170,7 +209,27 @@ class PhasePipeline {
                  PhaseObserver* observer = nullptr,
                  TaskLedger* ledger = nullptr) const;
 
+  /// Open-system entry point: pulls arrivals incrementally from `source`
+  /// instead of requiring the whole workload up front, applies
+  /// `options.max_pending` admission control, and (when `stats` is non-null)
+  /// records per-task schedule latency into `stats->schedule_latency`.
+  /// Everything else — phase loop, quantum policy, readmission, ledger
+  /// conservation — is byte-for-byte the closed pipeline: run() is this
+  /// entry point over a VectorArrivalSource with admission control off.
+  /// Runs until the source is exhausted AND every admitted task reached a
+  /// terminal state.
+  RunMetrics run_stream(tasks::ArrivalSource& source,
+                        ExecutionBackend& backend,
+                        const StreamOptions& options = {},
+                        StreamStats* stats = nullptr,
+                        PhaseObserver* observer = nullptr,
+                        TaskLedger* ledger = nullptr) const;
+
  private:
+  RunMetrics run_core(tasks::ArrivalSource& source, ExecutionBackend& backend,
+                      const StreamOptions& options, StreamStats* stats,
+                      PhaseObserver* observer, TaskLedger* ledger) const;
+
   const PhaseAlgorithm& algorithm_;
   const QuantumPolicy& quantum_;
   PipelineConfig config_;

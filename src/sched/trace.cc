@@ -9,7 +9,8 @@ void PhaseTraceRecorder::on_phase(const PhaseRecord& record) {
 }
 
 void PhaseTraceRecorder::write_csv(std::ostream& os) const {
-  os << "phase,start_us,end_us,batch,arrivals,culled,min_slack_us,"
+  os << "phase,start_us,end_us,batch,arrivals,culled,admission_rejected,"
+        "min_slack_us,"
         "min_load_us,quantum_us,budget,floor_override,vertices,expansions,"
         "backtracks,max_depth,dead_end,leaf,budget_exhausted,scheduled,"
         "delivered,overflow_drops,readmitted,rejected,search_wall_ns,"
@@ -17,6 +18,7 @@ void PhaseTraceRecorder::write_csv(std::ostream& os) const {
   for (const PhaseRecord& r : records_) {
     os << r.index << ',' << r.start.us << ',' << r.end.us << ','
        << r.batch_size << ',' << r.arrivals << ',' << r.culled << ','
+       << r.admission_rejected << ','
        << r.min_slack.us << ',' << r.min_load.us << ',' << r.quantum.us
        << ',' << r.vertex_budget << ','
        << (r.quantum_floor_override ? 1 : 0) << ','

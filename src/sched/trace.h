@@ -33,6 +33,9 @@ struct PhaseRecord {
   std::uint64_t batch_size{0};  ///< after merge + cull, before scheduling
   std::uint64_t arrivals{0};    ///< tasks merged at this phase start
   std::uint64_t culled{0};      ///< tasks dropped as unreachable
+  /// Arrivals turned away by open-system admission control at this phase
+  /// start (always 0 in closed runs; excluded from `arrivals`).
+  std::uint64_t admission_rejected{0};
 
   SimDuration min_slack{SimDuration::zero()};  ///< Min_Slack (Fig. 3)
   SimDuration min_load{SimDuration::zero()};   ///< Min_Load (Fig. 3)

@@ -1,0 +1,125 @@
+#include "tasks/arrival_source.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.h"
+
+namespace rtds::tasks {
+
+namespace {
+
+constexpr std::uint64_t kArrivalStream = stream_id("stream.arrival");
+constexpr std::uint64_t kBodyStream = stream_id("stream.body");
+
+SimDuration round_gap(double gap_us) {
+  return SimDuration{std::max<std::int64_t>(0, std::int64_t(std::llround(gap_us)))};
+}
+
+}  // namespace
+
+VectorArrivalSource::VectorArrivalSource(std::vector<Task> tasks)
+    : tasks_(std::move(tasks)) {
+  RTDS_REQUIRE(std::is_sorted(tasks_.begin(), tasks_.end(),
+                              [](const Task& a, const Task& b) {
+                                return a.arrival < b.arrival;
+                              }),
+               "VectorArrivalSource: workload must be sorted by arrival");
+}
+
+std::optional<SimTime> VectorArrivalSource::peek() {
+  if (cursor_ >= tasks_.size()) return std::nullopt;
+  return tasks_[cursor_].arrival;
+}
+
+Task VectorArrivalSource::next() {
+  RTDS_REQUIRE(cursor_ < tasks_.size(),
+               "VectorArrivalSource: next() past the end");
+  return std::move(tasks_[cursor_++]);
+}
+
+GeneratedArrivalSource::GeneratedArrivalSource(const StreamConfig& config)
+    : config_(config),
+      arrival_rng_(derive_seed(config.seed, kArrivalStream, 0)),
+      body_rng_(derive_seed(config.seed, kBodyStream, 0)),
+      cursor_(config.start) {
+  validate_task_body_config(config_.body);
+}
+
+void GeneratedArrivalSource::refill() {
+  if (primed_ || emitted_ >= config_.max_tasks) return;
+  cursor_ += draw_gap(arrival_rng_);
+  pending_ = draw_task_body(config_.body, config_.body.first_id + emitted_,
+                            cursor_, body_rng_);
+  emitted_ += 1;
+  primed_ = true;
+}
+
+std::optional<SimTime> GeneratedArrivalSource::peek() {
+  refill();
+  if (!primed_) return std::nullopt;
+  return pending_->arrival;
+}
+
+Task GeneratedArrivalSource::next() {
+  refill();
+  RTDS_REQUIRE(primed_, "GeneratedArrivalSource: next() on exhausted source");
+  primed_ = false;
+  return *std::move(pending_);
+}
+
+PoissonArrivalSource::PoissonArrivalSource(const StreamConfig& config,
+                                           SimDuration mean_gap)
+    : GeneratedArrivalSource(config), mean_gap_(mean_gap) {
+  RTDS_REQUIRE(mean_gap > SimDuration::zero(),
+               "PoissonArrivalSource: mean gap must be positive");
+}
+
+SimDuration PoissonArrivalSource::draw_gap(Xoshiro256ss& rng) {
+  return round_gap(rng.exponential(double(mean_gap_.us)));
+}
+
+OnOffArrivalSource::OnOffArrivalSource(const StreamConfig& config,
+                                       SimDuration on_gap,
+                                       std::uint32_t burst_len,
+                                       SimDuration off_gap)
+    : GeneratedArrivalSource(config),
+      on_gap_(on_gap),
+      burst_len_(burst_len),
+      off_gap_(off_gap) {
+  RTDS_REQUIRE(!on_gap.is_negative(),
+               "OnOffArrivalSource: ON gap must be >= 0");
+  RTDS_REQUIRE(burst_len >= 1, "OnOffArrivalSource: burst length must be >= 1");
+  RTDS_REQUIRE(off_gap > SimDuration::zero(),
+               "OnOffArrivalSource: OFF gap must be positive");
+}
+
+SimDuration OnOffArrivalSource::draw_gap(Xoshiro256ss&) {
+  // First task of a burst pays the OFF silence (the very first burst starts
+  // one OFF period after `start`, so an idle lead-in is part of the model);
+  // the rest of the burst is spaced at the ON gap.
+  if (in_burst_ == 0) {
+    in_burst_ = burst_len_ - 1;
+    return off_gap_;
+  }
+  in_burst_ -= 1;
+  return on_gap_;
+}
+
+SporadicArrivalSource::SporadicArrivalSource(const StreamConfig& config,
+                                             SimDuration min_gap,
+                                             SimDuration mean_extra_gap)
+    : GeneratedArrivalSource(config),
+      min_gap_(min_gap),
+      mean_extra_gap_(mean_extra_gap) {
+  RTDS_REQUIRE(min_gap > SimDuration::zero(),
+               "SporadicArrivalSource: min gap must be positive");
+  RTDS_REQUIRE(mean_extra_gap > SimDuration::zero(),
+               "SporadicArrivalSource: mean extra gap must be positive");
+}
+
+SimDuration SporadicArrivalSource::draw_gap(Xoshiro256ss& rng) {
+  return min_gap_ + round_gap(rng.exponential(double(mean_extra_gap_.us)));
+}
+
+}  // namespace rtds::tasks

@@ -1,0 +1,170 @@
+// Open-arrival task sources for the streaming service mode.
+//
+// A closed run drains a fixed, fully-known workload vector; the paper's
+// Sec. 4.4 phase pipelining is designed for an OPEN system where Batch(j+1)
+// forms from tasks that arrive while S_j executes. An ArrivalSource is the
+// open-system counterpart of a workload vector: the pipeline pulls tasks
+// incrementally (peek the next arrival instant, consume when the clock
+// reaches it) instead of requiring the whole future up front, so a source
+// can in principle run forever — in practice every generator is bounded by
+// `max_tasks` so runs terminate and conservation can be checked at drain.
+//
+// Three arrival processes are provided, spanning the open-workload models
+// of the real-time literature:
+//
+//   PoissonArrivalSource   memoryless gaps, Exp(mean) — the classic open
+//                          service-system model (M/·/m)
+//   OnOffArrivalSource     bursty ON-OFF: bursts of `burst_len` tasks at
+//                          `on_gap` spacing separated by `off_gap` silences
+//                          (markets open, sensors sync, caches flush)
+//   SporadicArrivalSource  minimum inter-arrival enforcement: gap =
+//                          min_gap + Exp(mean_extra_gap), the sporadic
+//                          task model (arXiv:1809.04355) where min_gap is
+//                          the contracted rate limit
+//
+// Task BODIES (processing, affinity, deadline laxity, start offsets,
+// reclaimable slack) are drawn by tasks::draw_task_body from the same
+// WorkloadConfig distribution the closed generator uses, off a dedicated
+// named rng substream — the same seed therefore reproduces the exact task
+// stream, which is what makes streaming runs replayable and benchable.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/time.h"
+#include "tasks/task.h"
+#include "tasks/workload.h"
+
+namespace rtds::tasks {
+
+/// Incremental task feed for the open-system pipeline entry point.
+///
+/// Contract: peek() returns the arrival instant of the next task without
+/// consuming it (nullopt when exhausted); next() consumes and returns that
+/// task, whose `arrival` equals the peeked instant. Arrival instants are
+/// non-decreasing across next() calls — the stream is sorted by
+/// construction, exactly as closed workload vectors are required to be.
+class ArrivalSource {
+ public:
+  virtual ~ArrivalSource() = default;
+
+  /// Arrival time of the next task, or nullopt when the source is done.
+  [[nodiscard]] virtual std::optional<SimTime> peek() = 0;
+
+  /// Consumes the next task. Requires peek() != nullopt.
+  virtual Task next() = 0;
+};
+
+/// Adapts a fixed workload vector (sorted by arrival) to the ArrivalSource
+/// interface — the closed drain is the degenerate open system, which is how
+/// PhasePipeline::run funnels into the same phase loop as run_stream.
+class VectorArrivalSource final : public ArrivalSource {
+ public:
+  /// Throws InvalidArgument unless `tasks` is sorted by arrival.
+  explicit VectorArrivalSource(std::vector<Task> tasks);
+
+  [[nodiscard]] std::optional<SimTime> peek() override;
+  Task next() override;
+
+ private:
+  std::vector<Task> tasks_;
+  std::size_t cursor_{0};
+};
+
+/// Shape of a generated open stream: the arrival process is chosen by the
+/// concrete source class; everything here is common to all three.
+struct StreamConfig {
+  /// Seed of the stream. Arrival gaps and task bodies draw from two
+  /// independent named substreams ("stream.arrival" / "stream.body") via
+  /// derive_seed, so the arrival process can be swapped without changing
+  /// the task population and vice versa.
+  std::uint64_t seed{1};
+
+  /// Tasks the source emits before reporting exhaustion. Bounds every run.
+  std::uint32_t max_tasks{1000};
+
+  /// First arrival is at `start` + one drawn gap.
+  SimTime start{SimTime::zero()};
+
+  /// Task-body distribution (processing, affinity, laxity, offsets,
+  /// reclaimable slack). Arrival-pattern fields of the config are ignored
+  /// — the source IS the arrival pattern. Ids are sequential from
+  /// `body.first_id`.
+  WorkloadConfig body;
+};
+
+/// Common machinery of the generated sources: two rng substreams, id
+/// assignment, lazy one-task lookahead. Subclasses implement draw_gap().
+class GeneratedArrivalSource : public ArrivalSource {
+ public:
+  [[nodiscard]] std::optional<SimTime> peek() final;
+  Task next() final;
+
+ protected:
+  explicit GeneratedArrivalSource(const StreamConfig& config);
+
+  /// Gap between the previous arrival instant and the next (>= 0).
+  virtual SimDuration draw_gap(Xoshiro256ss& rng) = 0;
+
+ private:
+  void refill();
+
+  StreamConfig config_;
+  Xoshiro256ss arrival_rng_;
+  Xoshiro256ss body_rng_;
+  SimTime cursor_;
+  std::uint32_t emitted_{0};
+  std::optional<Task> pending_;
+  bool primed_{false};
+};
+
+/// Memoryless arrivals: gap ~ Exp(mean_gap).
+class PoissonArrivalSource final : public GeneratedArrivalSource {
+ public:
+  PoissonArrivalSource(const StreamConfig& config, SimDuration mean_gap);
+
+ protected:
+  SimDuration draw_gap(Xoshiro256ss& rng) override;
+
+ private:
+  SimDuration mean_gap_;
+};
+
+/// Bursty ON-OFF arrivals: `burst_len` tasks spaced `on_gap` apart, then an
+/// `off_gap` silence, repeating. Deterministic in everything but the task
+/// bodies — the burst structure itself is the model, not noise.
+class OnOffArrivalSource final : public GeneratedArrivalSource {
+ public:
+  OnOffArrivalSource(const StreamConfig& config, SimDuration on_gap,
+                     std::uint32_t burst_len, SimDuration off_gap);
+
+ protected:
+  SimDuration draw_gap(Xoshiro256ss& rng) override;
+
+ private:
+  SimDuration on_gap_;
+  std::uint32_t burst_len_;
+  SimDuration off_gap_;
+  std::uint32_t in_burst_{0};
+};
+
+/// Sporadic arrivals with minimum inter-arrival enforcement: gap = min_gap
+/// + Exp(mean_extra_gap). min_gap is the sporadic model's rate-limit
+/// contract; the exponential tail makes the source genuinely aperiodic.
+class SporadicArrivalSource final : public GeneratedArrivalSource {
+ public:
+  SporadicArrivalSource(const StreamConfig& config, SimDuration min_gap,
+                        SimDuration mean_extra_gap);
+
+ protected:
+  SimDuration draw_gap(Xoshiro256ss& rng) override;
+
+ private:
+  SimDuration min_gap_;
+  SimDuration mean_extra_gap_;
+};
+
+}  // namespace rtds::tasks

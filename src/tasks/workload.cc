@@ -7,8 +7,7 @@
 
 namespace rtds::tasks {
 
-std::vector<Task> generate_workload(const WorkloadConfig& cfg,
-                                    Xoshiro256ss& rng) {
+void validate_task_body_config(const WorkloadConfig& cfg) {
   RTDS_REQUIRE(cfg.num_processors >= 1, "workload: need >= 1 processor");
   RTDS_REQUIRE(cfg.num_processors <= AffinitySet::kMaxProcessors,
                "workload: too many processors");
@@ -19,77 +18,86 @@ std::vector<Task> generate_workload(const WorkloadConfig& cfg,
                "workload: affinity degree outside [0,1]");
   RTDS_REQUIRE(cfg.laxity_min > 0.0 && cfg.laxity_min <= cfg.laxity_max,
                "workload: bad laxity range");
-  if (cfg.arrival == ArrivalPattern::kPeriodicBurst) {
-    RTDS_REQUIRE(cfg.burst_size >= 1, "workload: burst size must be >= 1");
-    RTDS_REQUIRE(cfg.burst_interval > SimDuration::zero(),
-                 "workload: burst interval must be positive");
-  }
   RTDS_REQUIRE(!cfg.max_start_offset.is_negative(),
                "workload: negative start offset");
   RTDS_REQUIRE(cfg.actual_fraction_min > 0.0 &&
                    cfg.actual_fraction_min <= cfg.actual_fraction_max &&
                    cfg.actual_fraction_max <= 1.0,
                "workload: bad actual-cost fraction range");
+}
+
+Task draw_task_body(const WorkloadConfig& cfg, TaskId id, SimTime arrival,
+                    Xoshiro256ss& rng) {
+  Task t;
+  t.id = id;
+  t.arrival = arrival;
+
+  t.processing =
+      rng.uniform_duration(cfg.processing_min, cfg.processing_max);
+
+  // Bernoulli affinity per processor; force at least one affine
+  // processor so the task is executable without communication somewhere.
+  for (ProcessorId p = 0; p < cfg.num_processors; ++p) {
+    if (rng.bernoulli(cfg.affinity_degree)) t.affinity.add(p);
+  }
+  if (t.affinity.empty()) {
+    t.affinity.add(static_cast<ProcessorId>(
+        rng.uniform_int(0, std::int64_t(cfg.num_processors) - 1)));
+  }
+
+  if (cfg.actual_fraction_max < 1.0 ||
+      cfg.actual_fraction_min < cfg.actual_fraction_max) {
+    const double fraction = rng.uniform_double(cfg.actual_fraction_min,
+                                               cfg.actual_fraction_max);
+    t.actual_processing = SimDuration{std::max<std::int64_t>(
+        1, std::int64_t(std::llround(fraction * double(t.processing.us))))};
+  }
+
+  t.earliest_start = t.arrival;
+  if (cfg.max_start_offset > SimDuration::zero()) {
+    t.earliest_start =
+        t.arrival +
+        rng.uniform_duration(SimDuration::zero(), cfg.max_start_offset);
+  }
+
+  const double laxity = rng.uniform_double(cfg.laxity_min, cfg.laxity_max);
+  t.deadline =
+      t.earliest_start +
+      SimDuration{std::int64_t(std::llround(laxity * double(t.processing.us)))};
+  return t;
+}
+
+std::vector<Task> generate_workload(const WorkloadConfig& cfg,
+                                    Xoshiro256ss& rng) {
+  validate_task_body_config(cfg);
+  if (cfg.arrival == ArrivalPattern::kPeriodicBurst) {
+    RTDS_REQUIRE(cfg.burst_size >= 1, "workload: burst size must be >= 1");
+    RTDS_REQUIRE(cfg.burst_interval > SimDuration::zero(),
+                 "workload: burst interval must be positive");
+  }
 
   std::vector<Task> out;
   out.reserve(cfg.num_tasks);
 
   SimTime arrival_cursor = cfg.start;
   for (std::uint32_t i = 0; i < cfg.num_tasks; ++i) {
-    Task t;
-    t.id = cfg.first_id + i;
-
+    SimTime arrival = cfg.start;
     switch (cfg.arrival) {
       case ArrivalPattern::kBursty:
-        t.arrival = cfg.start;
         break;
       case ArrivalPattern::kPoisson: {
         const double gap =
             rng.exponential(double(cfg.mean_interarrival.us));
         arrival_cursor += SimDuration{std::int64_t(std::llround(gap))};
-        t.arrival = arrival_cursor;
+        arrival = arrival_cursor;
         break;
       }
       case ArrivalPattern::kPeriodicBurst:
-        t.arrival =
+        arrival =
             cfg.start + cfg.burst_interval * std::int64_t(i / cfg.burst_size);
         break;
     }
-
-    t.processing =
-        rng.uniform_duration(cfg.processing_min, cfg.processing_max);
-
-    // Bernoulli affinity per processor; force at least one affine
-    // processor so the task is executable without communication somewhere.
-    for (ProcessorId p = 0; p < cfg.num_processors; ++p) {
-      if (rng.bernoulli(cfg.affinity_degree)) t.affinity.add(p);
-    }
-    if (t.affinity.empty()) {
-      t.affinity.add(static_cast<ProcessorId>(
-          rng.uniform_int(0, std::int64_t(cfg.num_processors) - 1)));
-    }
-
-    if (cfg.actual_fraction_max < 1.0 ||
-        cfg.actual_fraction_min < cfg.actual_fraction_max) {
-      const double fraction = rng.uniform_double(cfg.actual_fraction_min,
-                                                 cfg.actual_fraction_max);
-      t.actual_processing = SimDuration{std::max<std::int64_t>(
-          1, std::int64_t(std::llround(fraction * double(t.processing.us))))};
-    }
-
-    t.earliest_start = t.arrival;
-    if (cfg.max_start_offset > SimDuration::zero()) {
-      t.earliest_start =
-          t.arrival +
-          rng.uniform_duration(SimDuration::zero(), cfg.max_start_offset);
-    }
-
-    const double laxity = rng.uniform_double(cfg.laxity_min, cfg.laxity_max);
-    t.deadline =
-        t.earliest_start +
-        SimDuration{std::int64_t(std::llround(laxity * double(t.processing.us)))};
-
-    out.push_back(t);
+    out.push_back(draw_task_body(cfg, cfg.first_id + i, arrival, rng));
   }
 
   std::stable_sort(out.begin(), out.end(),

@@ -72,6 +72,22 @@ struct WorkloadConfig {
 std::vector<Task> generate_workload(const WorkloadConfig& cfg,
                                     Xoshiro256ss& rng);
 
+/// Draws the non-arrival fields of one task (processing, affinity,
+/// reclaimable slack, start-time offset, deadline) with exactly the rng
+/// draw order generate_workload uses per task. This is the shared task-body
+/// distribution: the open-arrival sources (tasks/arrival_source.h) pair it
+/// with their own arrival processes, so a streamed task population is
+/// statistically identical to a generated closed workload with the same
+/// config. Does not validate `cfg` (generate_workload and the sources do).
+Task draw_task_body(const WorkloadConfig& cfg, TaskId id, SimTime arrival,
+                    Xoshiro256ss& rng);
+
+/// Throws InvalidArgument unless the task-body fields of `cfg` (processing
+/// range, affinity degree, laxity range, start offset, actual fractions,
+/// processor count) are valid. Shared by generate_workload and the
+/// open-arrival sources.
+void validate_task_body_config(const WorkloadConfig& cfg);
+
 /// Splits a workload (sorted by arrival) into the sub-vector of tasks with
 /// arrival in the half-open window [from, to). Used by the phase loop to
 /// collect arrivals during a scheduling phase.

@@ -45,10 +45,14 @@ sched::PipelineConfig pipeline_config(const Scenario& s, bool threaded) {
   return cfg;
 }
 
-/// Runs the pipeline over `backend`, filling `run`. An InvariantViolation
-/// from anywhere inside the library is itself an oracle failure (the whole
-/// point of the sweep), reported under the pseudo-oracle "harness".
-bool run_pipeline(const sched::PhaseAlgorithm& algorithm,
+/// Runs the pipeline over `backend`, filling `run`. Open scenarios run the
+/// streaming entry point (a fresh deterministic source per backend, so every
+/// backend sees the identical task stream) and capture the latency digest.
+/// An InvariantViolation from anywhere inside the library is itself an
+/// oracle failure (the whole point of the sweep), reported under the
+/// pseudo-oracle "harness".
+bool run_pipeline(const Scenario& scenario,
+                  const sched::PhaseAlgorithm& algorithm,
                   const sched::QuantumPolicy& quantum,
                   const sched::PipelineConfig& config,
                   const std::vector<tasks::Task>& workload,
@@ -58,7 +62,22 @@ bool run_pipeline(const sched::PhaseAlgorithm& algorithm,
   sched::PhaseTraceRecorder trace;
   sched::TaskLedger ledger;
   try {
-    run.metrics = pipeline.run(workload, backend, &trace, &ledger);
+    if (scenario.open_arrival != kOpenClosed) {
+      const std::unique_ptr<tasks::ArrivalSource> source =
+          make_stream_source(scenario);
+      sched::StreamOptions sopts;
+      sopts.max_pending = scenario.max_pending;
+      sched::StreamStats stats(sopts);
+      run.metrics = pipeline.run_stream(*source, backend, sopts, &stats,
+                                        &trace, &ledger);
+      run.has_latency = true;
+      run.latency_count = stats.schedule_latency.count();
+      run.latency_underflow = stats.schedule_latency.underflow();
+      run.latency_overflow = stats.schedule_latency.overflow();
+      run.latency_buckets = stats.schedule_latency.buckets();
+    } else {
+      run.metrics = pipeline.run(workload, backend, &trace, &ledger);
+    }
   } catch (const Error& e) {
     violations.push_back("harness(" + run.name +
                          "): exception: " + e.what());
@@ -127,7 +146,12 @@ ScenarioResult run_scenario(const Scenario& scenario,
   result.scenario = scenario;
   result.token = encode_token(scenario);
 
-  const std::vector<tasks::Task> workload = make_workload(scenario);
+  // Open scenarios have no workload vector to drive the pipeline with; the
+  // materialized stream is still needed by the validity oracle (the offered
+  // task population) and the sharded routing audit guard below.
+  const bool open = scenario.open_arrival != kOpenClosed;
+  const std::vector<tasks::Task> workload =
+      open ? make_stream_tasks(scenario) : make_workload(scenario);
   const machine::ReclaimMode reclaim = scenario.reclaim != 0
                                            ? machine::ReclaimMode::kReclaim
                                            : machine::ReclaimMode::kWorstCase;
@@ -153,8 +177,8 @@ ScenarioResult run_scenario(const Scenario& scenario,
   sched::SimBackend sim_inner(sim_cluster, simulator);
   FaultInjectingBackend sim_backend(sim_inner, scenario.refusal_period);
   result.sim.name = "sim";
-  const bool sim_ok = run_pipeline(*algorithm, *quantum, des_config, workload,
-                                   sim_backend, result.sim,
+  const bool sim_ok = run_pipeline(scenario, *algorithm, *quantum, des_config,
+                                   workload, sim_backend, result.sim,
                                    result.violations);
   if (sim_ok) {
     apply_mutation(options.mutation, result.sim);
@@ -162,6 +186,7 @@ ScenarioResult run_scenario(const Scenario& scenario,
     oracle_conservation(result.sim, result.violations);
     oracle_quantum_bound(scenario, result.sim, result.violations);
     oracle_schedule_validity("sim", sim_cluster, workload, result.violations);
+    oracle_stream_accounting(result.sim, result.violations);
   }
 
   // -- partitioned, single host: must be the same machine --------------------
@@ -171,8 +196,8 @@ ScenarioResult run_scenario(const Scenario& scenario,
   sched::PartitionedBackend part(1, scenario.workers, comm, reclaim);
   FaultInjectingBackend part_backend(part.host(0), scenario.refusal_period);
   result.partitioned.name = "partitioned";
-  const bool part_ok = run_pipeline(*algorithm, *quantum, des_config,
-                                    workload, part_backend,
+  const bool part_ok = run_pipeline(scenario, *algorithm, *quantum,
+                                    des_config, workload, part_backend,
                                     result.partitioned, result.violations);
   if (part_ok) {
     oracle_correction_theorem(result.partitioned, result.violations);
@@ -180,6 +205,7 @@ ScenarioResult run_scenario(const Scenario& scenario,
     oracle_quantum_bound(scenario, result.partitioned, result.violations);
     oracle_schedule_validity("partitioned", part.cluster(0), workload,
                              result.violations);
+    oracle_stream_accounting(result.partitioned, result.violations);
     if (sim_ok) {
       oracle_metric_parity(result.sim, result.partitioned,
                            result.violations);
@@ -189,7 +215,7 @@ ScenarioResult run_scenario(const Scenario& scenario,
   // -- multi-shard audit (scenario.num_shards > 1) ---------------------------
   // run_partitioned owns its hosts, so refusal injection cannot be threaded
   // through; the sharded run audits routing + per-shard guarantees instead.
-  if (scenario.num_shards > 1) {
+  if (scenario.num_shards > 1 && !open) {
     sched::PartitionedConfig pcfg;
     pcfg.num_shards = scenario.num_shards;
     pcfg.total_workers = scenario.workers;
@@ -239,15 +265,16 @@ ScenarioResult run_scenario(const Scenario& scenario,
     runtime::ThreadedBackend thr_inner(rcfg);
     FaultInjectingBackend thr_backend(thr_inner, scenario.refusal_period);
     result.threaded.name = "threaded";
-    const bool thr_ok = run_pipeline(*algorithm, *quantum, thr_config,
-                                     workload, thr_backend, result.threaded,
-                                     result.violations);
+    const bool thr_ok = run_pipeline(scenario, *algorithm, *quantum,
+                                     thr_config, workload, thr_backend,
+                                     result.threaded, result.violations);
     if (thr_ok) {
       // No correction-theorem / timing oracle here: deadlines are judged
-      // against wall-clock jitter. Conservation and the quantum audit are
-      // clock-independent; count parity holds on parity-class scenarios
-      // whose laxity dwarfs any jitter.
+      // against wall-clock jitter. Conservation, the quantum audit and the
+      // latency sample accounting are clock-independent; count parity holds
+      // on parity-class scenarios whose laxity dwarfs any jitter.
       oracle_conservation(result.threaded, result.violations);
+      oracle_stream_accounting(result.threaded, result.violations);
       Scenario thr_scenario = scenario;
       thr_scenario.phase_overhead_us = 0;
       oracle_quantum_bound(thr_scenario, result.threaded, result.violations);

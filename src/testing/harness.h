@@ -16,6 +16,12 @@
 //                conservation always, count parity on parity-class
 //                scenarios (deadlines far beyond wall-clock jitter)
 //
+// Open scenarios (Scenario::open_arrival != 0) drive every backend through
+// PhasePipeline::run_stream instead: each run pulls the identical
+// deterministic task stream from its own ArrivalSource, admission control
+// applies scenario.max_pending, and the schedule-latency digest is checked
+// by the stream-accounting oracle (and sample-for-sample DES parity).
+//
 // Any InvariantViolation thrown inside the library (the pipeline's own
 // asserts, the ledger's transition checks) is caught and reported as a
 // violation of that backend's run rather than aborting the sweep, so the

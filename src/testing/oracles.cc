@@ -24,8 +24,9 @@ void expect_eq(std::vector<std::string>& out, const std::string& oracle,
 
 const std::vector<std::string>& oracle_names() {
   static const std::vector<std::string> names = {
-      "correction-theorem", "conservation",  "schedule-validity",
-      "quantum-bound",      "metric-parity", "threaded-parity",
+      "correction-theorem", "conservation",    "schedule-validity",
+      "quantum-bound",      "metric-parity",   "threaded-parity",
+      "stream-accounting",
   };
   return names;
 }
@@ -49,8 +50,10 @@ void oracle_conservation(const BackendRun& run,
                          std::vector<std::string>& out) {
   const sched::RunMetrics& m = run.metrics;
   const char* oracle = "conservation";
-  expect_eq(out, oracle, run.name, "hits + exec_misses + culled + rejected",
-            m.deadline_hits + m.exec_misses + m.culled + m.rejected,
+  expect_eq(out, oracle, run.name,
+            "hits + exec_misses + culled + rejected + admission_rejected",
+            m.deadline_hits + m.exec_misses + m.culled + m.rejected +
+                m.admission_rejected,
             m.total_tasks);
   expect_eq(out, oracle, run.name, "deadline_hits + exec_misses",
             m.deadline_hits + m.exec_misses, m.scheduled);
@@ -60,8 +63,8 @@ void oracle_conservation(const BackendRun& run,
     std::ostringstream os;
     os << "ledger not conserved: total " << l.total << " hits "
        << l.deadline_hits << " exec_misses " << l.exec_misses << " culled "
-       << l.culled << " rejected " << l.rejected << " in_flight "
-       << l.in_flight;
+       << l.culled << " rejected " << l.rejected << " admission_rejected "
+       << l.admission_rejected << " in_flight " << l.in_flight;
     violation(out, oracle, run.name, os.str());
   }
   expect_eq(out, oracle, run.name, "ledger total", l.total, m.total_tasks);
@@ -71,6 +74,8 @@ void oracle_conservation(const BackendRun& run,
             m.exec_misses);
   expect_eq(out, oracle, run.name, "ledger culled", l.culled, m.culled);
   expect_eq(out, oracle, run.name, "ledger rejected", l.rejected, m.rejected);
+  expect_eq(out, oracle, run.name, "ledger admission_rejected",
+            l.admission_rejected, m.admission_rejected);
   // Transition-event cross-checks: every schedule() either delivered,
   // dropped (readmission) or rejected — and the pipeline's aggregate
   // counters must agree with the per-task lifecycle event counts.
@@ -162,6 +167,8 @@ void oracle_metric_parity(const BackendRun& a, const BackendRun& b,
   expect_eq(out, oracle, pair, "exec_misses", x.exec_misses, y.exec_misses);
   expect_eq(out, oracle, pair, "culled", x.culled, y.culled);
   expect_eq(out, oracle, pair, "rejected", x.rejected, y.rejected);
+  expect_eq(out, oracle, pair, "admission_rejected", x.admission_rejected,
+            y.admission_rejected);
   expect_eq(out, oracle, pair, "overflow_drops", x.overflow_drops,
             y.overflow_drops);
   expect_eq(out, oracle, pair, "readmissions", x.readmissions,
@@ -189,6 +196,28 @@ void oracle_metric_parity(const BackendRun& a, const BackendRun& b,
             y.min_quantum_seen.us);
   expect_eq(out, oracle, pair, "max_quantum_seen.us", x.max_quantum_seen.us,
             y.max_quantum_seen.us);
+  // Streaming runs also expose a latency digest; two deterministic DES
+  // backends must agree on it sample-for-sample.
+  expect_eq(out, oracle, pair, "has_latency", a.has_latency, b.has_latency);
+  if (a.has_latency && b.has_latency) {
+    expect_eq(out, oracle, pair, "latency_count", a.latency_count,
+              b.latency_count);
+    expect_eq(out, oracle, pair, "latency_underflow", a.latency_underflow,
+              b.latency_underflow);
+    expect_eq(out, oracle, pair, "latency_overflow", a.latency_overflow,
+              b.latency_overflow);
+    if (a.latency_buckets != b.latency_buckets) {
+      violation(out, oracle, pair, "latency histogram buckets differ");
+    }
+  }
+}
+
+void oracle_stream_accounting(const BackendRun& run,
+                              std::vector<std::string>& out) {
+  if (!run.has_latency) return;
+  expect_eq(out, "stream-accounting", run.name,
+            "latency samples (one per accepted delivery)", run.latency_count,
+            run.metrics.scheduled);
 }
 
 void oracle_threaded_parity(const BackendRun& sim, const BackendRun& threaded,

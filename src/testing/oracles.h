@@ -21,6 +21,8 @@
 //                       deterministic backends driving the same workload
 //   threaded-parity     scheduled/culled/hit agreement between the DES and
 //                       the threaded backend on parity-class scenarios
+//   stream-accounting   streaming runs: one schedule-latency sample per
+//                       accepted delivery (histogram count == scheduled)
 #pragma once
 
 #include <string>
@@ -43,6 +45,16 @@ struct BackendRun {
   std::vector<sched::PhaseRecord> phases;
   bool has_ledger{false};
   bool has_phases{false};
+
+  // Schedule-latency digest of a streaming run (open scenarios only): the
+  // full bucket vector plus the edge counters, so two DES runs can be
+  // compared sample-for-sample and the total cross-checked against the
+  // delivery count.
+  bool has_latency{false};
+  std::uint64_t latency_count{0};
+  std::uint64_t latency_underflow{0};
+  std::uint64_t latency_overflow{0};
+  std::vector<std::uint64_t> latency_buckets;
 };
 
 /// The names above, in evaluation order (for the driver's summary).
@@ -77,5 +89,11 @@ void oracle_metric_parity(const BackendRun& a, const BackendRun& b,
 /// scheduled / culled / deadline_hits agreement for parity-class scenarios.
 void oracle_threaded_parity(const BackendRun& sim, const BackendRun& threaded,
                             std::vector<std::string>& out);
+
+/// Streaming bookkeeping: every accepted delivery contributed exactly one
+/// schedule-latency sample (histogram count == RunMetrics::scheduled), on
+/// any backend. No-op for runs without a latency digest.
+void oracle_stream_accounting(const BackendRun& run,
+                              std::vector<std::string>& out);
 
 }  // namespace rtds::testing

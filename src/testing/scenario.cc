@@ -9,7 +9,7 @@
 namespace rtds::testing {
 namespace {
 
-constexpr char kTokenPrefix[] = "rtds2";
+constexpr char kTokenPrefix[] = "rtds3";
 constexpr std::uint64_t kWorkloadStream = stream_id("fuzz.workload");
 constexpr std::uint64_t kScenarioStream = stream_id("fuzz.scenario");
 
@@ -50,6 +50,13 @@ void visit_fields(S& s, F&& f) {
   f(s.delivery_retries);
   f(s.run_threaded);
   f(s.parity_class);
+  // rtds3 additions (appended, prefix bumped from rtds2).
+  f(s.open_arrival);
+  f(s.stream_mean_gap_us);
+  f(s.stream_min_gap_us);
+  f(s.stream_burst_len);
+  f(s.stream_off_us);
+  f(s.max_pending);
 }
 
 std::uint64_t fnv1a(const std::string& payload) {
@@ -95,6 +102,38 @@ tasks::WorkloadConfig Scenario::workload_config() const {
 std::vector<tasks::Task> make_workload(const Scenario& scenario) {
   Xoshiro256ss rng(derive_seed(scenario.seed, kWorkloadStream, 0));
   return tasks::generate_workload(scenario.workload_config(), rng);
+}
+
+std::unique_ptr<tasks::ArrivalSource> make_stream_source(
+    const Scenario& scenario) {
+  RTDS_REQUIRE(scenario.open_arrival != kOpenClosed,
+               "make_stream_source: scenario is closed (open_arrival = 0)");
+  tasks::StreamConfig cfg;
+  cfg.seed = scenario.seed;
+  cfg.max_tasks = scenario.num_tasks;
+  cfg.body = scenario.workload_config();
+  switch (scenario.open_arrival) {
+    case kOpenOnOff:
+      return std::make_unique<tasks::OnOffArrivalSource>(
+          cfg, SimDuration{scenario.stream_mean_gap_us},
+          scenario.stream_burst_len, SimDuration{scenario.stream_off_us});
+    case kOpenSporadic:
+      return std::make_unique<tasks::SporadicArrivalSource>(
+          cfg, SimDuration{scenario.stream_min_gap_us},
+          SimDuration{scenario.stream_mean_gap_us});
+    default:
+      return std::make_unique<tasks::PoissonArrivalSource>(
+          cfg, SimDuration{scenario.stream_mean_gap_us});
+  }
+}
+
+std::vector<tasks::Task> make_stream_tasks(const Scenario& scenario) {
+  const std::unique_ptr<tasks::ArrivalSource> source =
+      make_stream_source(scenario);
+  std::vector<tasks::Task> out;
+  out.reserve(scenario.num_tasks);
+  while (source->peek().has_value()) out.push_back(source->next());
+  return out;
 }
 
 Scenario generate_scenario(std::uint64_t base_seed, std::uint64_t index) {
@@ -188,6 +227,26 @@ Scenario generate_scenario(std::uint64_t base_seed, std::uint64_t index) {
   s.delivery_retries = kRetryChoices[rng.uniform_int(0, 2)];
   s.run_threaded = 1;
 
+  // -- open arrivals ---------------------------------------------------------
+  // A slice of the sweep exercises the streaming service mode: the same
+  // task-body dials, but pulled through run_stream from a generated source,
+  // with admission control engaged half the time. Single-shard only: the
+  // multi-shard audit routes a materialized workload vector, which an open
+  // run deliberately does not have.
+  const double open_roll = rng.uniform_double();
+  s.open_arrival = open_roll < 0.70   ? kOpenClosed
+                   : open_roll < 0.82 ? kOpenPoisson
+                   : open_roll < 0.92 ? kOpenOnOff
+                                      : kOpenSporadic;
+  s.stream_mean_gap_us = rng.uniform_int(50, 1000);
+  s.stream_min_gap_us = rng.uniform_int(20, 300);
+  s.stream_burst_len = static_cast<std::uint32_t>(rng.uniform_int(2, 12));
+  s.stream_off_us = rng.uniform_int(1000, 10000);
+  s.max_pending = rng.bernoulli(0.5)
+                      ? 0
+                      : static_cast<std::uint32_t>(rng.uniform_int(4, 64));
+  if (s.open_arrival != kOpenClosed) s.num_shards = 1;
+
   // -- parity class ----------------------------------------------------------
   // A slice of the sweep is constructed so the threaded backend MUST agree
   // with the DES on scheduled/culled/hit counts: one bursty batch at t=0,
@@ -196,6 +255,9 @@ Scenario generate_scenario(std::uint64_t base_seed, std::uint64_t index) {
   // far deeper than the workload.
   s.parity_class = rng.bernoulli(0.15) ? 1 : 0;
   if (s.parity_class == 1) {
+    // Parity scenarios are closed by construction: the count-parity
+    // argument needs one bursty batch at t=0, not a timed stream.
+    s.open_arrival = kOpenClosed;
     s.arrival_kind = kArrivalBursty;
     s.num_tasks = s.num_tasks == 0
                       ? 0
@@ -331,7 +393,16 @@ std::string Scenario::to_string() const {
      << " attempts=" << max_delivery_attempts
      << " refuse_every=" << refusal_period << " mailbox=" << mailbox_capacity
      << (reclaim == 1 ? " reclaim" : "")
-     << (parity_class == 1 ? " parity" : "") << "}";
+     << (parity_class == 1 ? " parity" : "");
+  if (open_arrival != kOpenClosed) {
+    os << " open="
+       << (open_arrival == kOpenPoisson   ? "poisson"
+           : open_arrival == kOpenOnOff   ? "on-off"
+           : open_arrival == kOpenSporadic ? "sporadic"
+                                           : "?")
+       << " gap=" << stream_mean_gap_us << "us max_pending=" << max_pending;
+  }
+  os << "}";
   return os.str();
 }
 

@@ -17,11 +17,13 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <optional>
 #include <string>
 #include <vector>
 
 #include "common/rng.h"
+#include "tasks/arrival_source.h"
 #include "tasks/task.h"
 #include "tasks/workload.h"
 
@@ -33,6 +35,16 @@ enum : std::uint32_t {
   kArrivalBursty = 0,
   kArrivalPoisson = 1,
   kArrivalPeriodicBurst = 2,
+};
+
+/// Open-arrival codes (Scenario::open_arrival): 0 keeps the classic closed
+/// run; anything else replaces the workload vector with a streaming
+/// ArrivalSource of that shape, driven through PhasePipeline::run_stream.
+enum : std::uint32_t {
+  kOpenClosed = 0,
+  kOpenPoisson = 1,
+  kOpenOnOff = 2,
+  kOpenSporadic = 3,
 };
 
 /// One complete fuzz case. Defaults form a small valid scenario; the
@@ -89,6 +101,18 @@ struct Scenario {
   std::uint32_t mailbox_capacity{64};  ///< threaded ready-queue depth
   std::uint32_t delivery_retries{1};   ///< threaded push retries when full
 
+  // -- open arrivals ---------------------------------------------------------
+  /// kOpenClosed, or the streaming source shape (kOpenPoisson / kOpenOnOff /
+  /// kOpenSporadic). Open scenarios run the same `num_tasks` task bodies
+  /// through run_stream instead of run; the oracle suite applies unchanged.
+  std::uint32_t open_arrival{kOpenClosed};
+  std::int64_t stream_mean_gap_us{300};  ///< Poisson mean / ON gap / sporadic extra
+  std::int64_t stream_min_gap_us{100};   ///< sporadic minimum inter-arrival
+  std::uint32_t stream_burst_len{6};     ///< ON-OFF tasks per burst
+  std::int64_t stream_off_us{3000};      ///< ON-OFF silence between bursts
+  /// StreamOptions::max_pending admission bound (0 = no admission control).
+  std::uint32_t max_pending{0};
+
   // -- harness shape ---------------------------------------------------------
   std::uint32_t run_threaded{1};
   /// Parity-eligible construction: bursty arrivals, laxity far beyond
@@ -105,6 +129,15 @@ struct Scenario {
 
 /// Materializes the scenario's workload (deterministic in scenario.seed).
 std::vector<tasks::Task> make_workload(const Scenario& scenario);
+
+/// Builds the scenario's streaming source (deterministic in scenario.seed;
+/// every call returns an identical task stream). Requires an open scenario.
+std::unique_ptr<tasks::ArrivalSource> make_stream_source(
+    const Scenario& scenario);
+
+/// The full task stream an open scenario will emit, sorted by arrival —
+/// for oracles (schedule validity) that need the offered task population.
+std::vector<tasks::Task> make_stream_tasks(const Scenario& scenario);
 
 /// Draws scenario `index` of the sweep rooted at `base_seed`.
 Scenario generate_scenario(std::uint64_t base_seed, std::uint64_t index);

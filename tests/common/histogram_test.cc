@@ -63,6 +63,41 @@ TEST(HistogramTest, QuantileExtremesWithOutliers) {
   EXPECT_DOUBLE_EQ(h.quantile(1.0), 10.0);  // overflow clamps to hi
 }
 
+TEST(HistogramTest, QuantileZeroWithoutUnderflowIsSmallestBucketEdge) {
+  // q = 0 used to report lo even when no sample was anywhere near it; with
+  // no underflow mass the minimum lives in the first NON-EMPTY bucket.
+  Histogram h(0.0, 10.0, 10);
+  h.add(7.3);
+  h.add(7.9);
+  EXPECT_DOUBLE_EQ(h.quantile(0.0), 7.0);
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), 8.0);  // symmetric: no overflow mass
+  // Once underflow mass exists, q = 0 genuinely is below range.
+  h.add(-1.0);
+  EXPECT_DOUBLE_EQ(h.quantile(0.0), 0.0);
+}
+
+TEST(HistogramTest, QuantileSkipsEmptyInteriorBuckets) {
+  // Mass in buckets 0 and 9 with an empty run between: interior quantiles
+  // must interpolate within occupied buckets, never land in the gap.
+  Histogram h(0.0, 10.0, 10);
+  for (int i = 0; i < 50; ++i) h.add(0.5);
+  for (int i = 0; i < 50; ++i) h.add(9.5);
+  EXPECT_LE(h.quantile(0.4), 1.0);
+  EXPECT_GE(h.quantile(0.6), 9.0);
+}
+
+TEST(HistogramTest, QuantileAllMassOutOfRange) {
+  Histogram h(0.0, 10.0, 4);
+  for (int i = 0; i < 8; ++i) h.add(99.0);
+  EXPECT_DOUBLE_EQ(h.quantile(0.0), 10.0);  // nothing recorded below hi
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 10.0);
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), 10.0);
+  Histogram g(0.0, 10.0, 4);
+  for (int i = 0; i < 8; ++i) g.add(-3.0);
+  EXPECT_DOUBLE_EQ(g.quantile(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(g.quantile(1.0), 0.0);
+}
+
 TEST(HistogramTest, RenderShowsNonEmptyBuckets) {
   Histogram h(0.0, 4.0, 4);
   h.add(0.5);

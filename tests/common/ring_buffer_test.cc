@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <memory>
 #include <string>
 
 #include "common/error.h"
@@ -66,6 +67,26 @@ TEST(RingBufferTest, ClearResets) {
   EXPECT_TRUE(rb.empty());
   EXPECT_TRUE(rb.push("c"));
   EXPECT_EQ(rb.pop(), "c");
+}
+
+TEST(RingBufferTest, ClearReleasesOwnedElements) {
+  // clear() must value-reset the occupied slots, not just move the indices:
+  // otherwise a cleared mailbox silently keeps its elements (and whatever
+  // they own) alive until the slot happens to be overwritten.
+  auto tracked = std::make_shared<int>(7);
+  RingBuffer<std::shared_ptr<int>> rb(4);
+  rb.push(tracked);
+  rb.push(tracked);
+  EXPECT_EQ(tracked.use_count(), 3);
+  rb.clear();
+  EXPECT_EQ(tracked.use_count(), 1);
+  // A full buffer (head == tail only when empty thanks to the spare slot)
+  // clears completely too.
+  for (int i = 0; i < 4; ++i) rb.push(tracked);
+  EXPECT_TRUE(rb.full());
+  rb.clear();
+  EXPECT_EQ(tracked.use_count(), 1);
+  EXPECT_TRUE(rb.empty());
 }
 
 TEST(RingBufferTest, MoveOnlyFriendly) {

@@ -34,13 +34,15 @@ TEST(ScenarioTest, DecodeRejectsTamperedToken) {
 
 TEST(ScenarioTest, DecodeRejectsWrongVersionAndGarbage) {
   std::string token = encode_token(Scenario{});
-  ASSERT_EQ(token.substr(0, 5), "rtds2");
-  // rtds1 tokens predate the algo_spec string field: they must be rejected,
-  // never silently decoded into a differently-shaped scenario.
+  ASSERT_EQ(token.substr(0, 5), "rtds3");
+  // rtds1/rtds2 tokens predate the algo_spec string field and the
+  // open-arrival fields respectively: they must be rejected, never silently
+  // decoded into a differently-shaped scenario.
   EXPECT_FALSE(decode_token("rtds1" + token.substr(5)).has_value());
+  EXPECT_FALSE(decode_token("rtds2" + token.substr(5)).has_value());
   EXPECT_FALSE(decode_token("rtds9" + token.substr(5)).has_value());
   EXPECT_FALSE(decode_token("").has_value());
-  EXPECT_FALSE(decode_token("rtds2").has_value());
+  EXPECT_FALSE(decode_token("rtds3").has_value());
   EXPECT_FALSE(decode_token("not a token at all").has_value());
   // Truncated field list.
   EXPECT_FALSE(decode_token(token.substr(0, token.size() / 2)).has_value());
