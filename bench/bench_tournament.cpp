@@ -50,6 +50,8 @@ struct Dial {
   std::uint32_t workers;
   double replication;
   double scaling_factor;
+  /// Fraction of transactions widened into gangs (width <= workers/2).
+  double gang_fraction{0.0};
 };
 
 struct CellOutcome {
@@ -72,6 +74,15 @@ std::vector<Dial> make_dials(bool quick) {
       for (const double sf : sfs) dials.push_back({m, r, sf});
     }
   }
+  // Gang sweep: hold (R, SF) at the evaluation's center and turn the gang
+  // dial. Multi-worker jobs shrink the effective machine and punish search
+  // backtracking, so this is where the partitioned baselines get their shot
+  // at RT-SADS.
+  const std::vector<double> gs =
+      quick ? std::vector<double>{0.5} : std::vector<double>{0.25, 0.5};
+  for (const std::uint32_t m : ms) {
+    for (const double g : gs) dials.push_back({m, 0.3, 1.0, g});
+  }
   return dials;
 }
 
@@ -79,6 +90,7 @@ std::string dial_name(const Dial& d) {
   std::ostringstream os;
   os << "m=" << d.workers << " R=" << exp::fmt(d.replication, 1)
      << " SF=" << exp::fmt(d.scaling_factor, 1);
+  if (d.gang_fraction > 0) os << " G=" << exp::fmt(d.gang_fraction, 2);
   return os.str();
 }
 
@@ -90,6 +102,8 @@ CellOutcome run_cell(const Dial& dial, std::uint32_t reps,
   config.scaling_factor = dial.scaling_factor;
   config.num_transactions = transactions;
   config.repetitions = reps;
+  config.gang_fraction = dial.gang_fraction;
+  config.gang_max_workers = std::max(2u, dial.workers / 2);
 
   CellOutcome out;
   out.dial = dial;
@@ -117,6 +131,7 @@ void json_cell(std::ostream& os, const CellOutcome& cell) {
   os << "   {\"workers\": " << cell.dial.workers
      << ", \"replication\": " << exp::fmt(cell.dial.replication, 2)
      << ", \"scaling_factor\": " << exp::fmt(cell.dial.scaling_factor, 2)
+     << ", \"gang_fraction\": " << exp::fmt(cell.dial.gang_fraction, 2)
      << ",\n    \"results\": [\n";
   for (std::size_t i = 0; i < cell.results.size(); ++i) {
     const exp::Aggregate& agg = cell.results[i];
@@ -168,9 +183,11 @@ int main(int argc, char** argv) {
 
   bench::print_header(
       "Algorithm-portfolio tournament: who wins where",
-      "evaluation dials of Sec. 5 (m, R, SF) over the full registry portfolio",
+      "evaluation dials of Sec. 5 (m, R, SF) plus a gang-fraction sweep, "
+      "over the full registry portfolio",
       "search (rt_sads) wins where slack leaves room to backtrack; cheap "
-      "greedy (edf_ff) takes over once scheduling capacity binds at m=10");
+      "greedy (edf_ff) takes over once scheduling capacity binds at m=10; "
+      "gang-heavy cells give the partitioned packers their shot");
 
   const std::vector<Dial> dials = make_dials(quick);
   std::cout << "roster (" << roster().size() << " entrants):";

@@ -38,8 +38,23 @@ sched::RunMetrics run_once(const ExperimentConfig& config,
   txn_cfg.fill_actual_costs = config.reclaim_actual_costs;
   const std::vector<db::Transaction> txns =
       db::generate_transactions(database, txn_cfg, rng);
-  const std::vector<tasks::Task> workload =
+  std::vector<tasks::Task> workload =
       db::to_tasks(txns, database, placement, txn_cfg);
+
+  // Gang/moldable extension: widen a fraction of the transactions AFTER the
+  // full workload is generated, so gang_fraction == 0 draws nothing and the
+  // historical task stream is reproduced byte-for-byte.
+  if (config.gang_fraction > 0.0) {
+    RTDS_REQUIRE(config.gang_max_workers >= 2 &&
+                     config.gang_max_workers <= config.num_workers,
+                 "run_once: gang_max_workers must be in [2, num_workers]");
+    for (tasks::Task& t : workload) {
+      if (rng.bernoulli(config.gang_fraction)) {
+        t.workers_required = static_cast<std::uint32_t>(
+            rng.uniform_int(2, config.gang_max_workers));
+      }
+    }
+  }
 
   machine::Cluster cluster(
       config.num_workers,

@@ -58,6 +58,12 @@ struct ExperimentConfig {
   double scaling_factor{1.0};  ///< SF (laxity)
   std::uint32_t num_transactions{1000};
   std::uint32_t max_predicates{0};  ///< 0 = num_attributes
+  /// Gang/moldable extension: each generated task becomes a gang with this
+  /// probability, width uniform in [2, gang_max_workers]. Drawn AFTER the
+  /// full database workload so runs with gang_fraction == 0 reproduce the
+  /// historical task stream byte-for-byte.
+  double gang_fraction{0.0};
+  std::uint32_t gang_max_workers{2};
 
   // -- protocol ----------------------------------------------------------------
   std::uint64_t base_seed{0x5ADC0FFEE1998ULL};

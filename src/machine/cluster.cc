@@ -18,21 +18,33 @@ Cluster::Cluster(std::uint32_t num_workers, Interconnect interconnect,
 void Cluster::deliver(const std::vector<ScheduledAssignment>& schedule,
                       SimTime now) {
   for (const ScheduledAssignment& sa : schedule) {
-    RTDS_REQUIRE(sa.worker < num_workers_, "deliver: bad worker id");
+    const std::uint32_t k = sa.task.workers_required;
+    RTDS_REQUIRE(k >= 1, "deliver: workers_required must be >= 1");
+    RTDS_REQUIRE(sa.worker < num_workers_ && k <= num_workers_ - sa.worker,
+                 "deliver: gang block exceeds the machine");
     RTDS_REQUIRE(sa.task.effective_processing() <= sa.task.processing,
                  "deliver: actual cost exceeds the worst-case estimate");
-    Worker& w = workers_[sa.worker];
     const SimDuration comm =
         interconnect_.comm_cost(sa.task.affinity, sa.worker);
     const SimDuration demand = reclaim_ == ReclaimMode::kReclaim
                                    ? sa.task.effective_processing()
                                    : sa.task.processing;
     reclaimed_ += sa.task.processing - demand;
-    SimTime start = w.busy_until < now ? now : w.busy_until;
+    // A gang job is handed to its whole block atomically: it starts once
+    // every block member's queue has drained, and occupies all of them
+    // until it ends. Communication is priced against the lead's affinity.
+    SimTime start = now;
+    for (std::uint32_t j = 0; j < k; ++j) {
+      const SimTime horizon = workers_[sa.worker + j].busy_until;
+      if (horizon > start) start = horizon;
+    }
     if (sa.task.earliest_start > start) start = sa.task.earliest_start;
     const SimTime end = start + demand + comm;
-    w.busy_until = end;
-    w.busy_time += demand + comm;
+    for (std::uint32_t j = 0; j < k; ++j) {
+      Worker& w = workers_[sa.worker + j];
+      w.busy_until = end;
+      w.busy_time += demand + comm;
+    }
 
     CompletionRecord rec;
     rec.task = sa.task.id;
@@ -42,6 +54,7 @@ void Cluster::deliver(const std::vector<ScheduledAssignment>& schedule,
     rec.end = end;
     rec.deadline = sa.task.deadline;
     rec.comm_cost = comm;
+    rec.width = k;
     log_.push_back(rec);
 
     ++stats_.executed;

@@ -23,13 +23,17 @@ using tasks::Task;
 using tasks::TaskId;
 
 /// One task-to-processor assignment within a delivered schedule, in
-/// schedule order for its worker.
+/// schedule order for its worker. For a gang task (workers_required == k),
+/// `worker` is the LEAD of the contiguous block [worker, worker+k): the
+/// whole block executes the job simultaneously.
 struct ScheduledAssignment {
   Task task;
   ProcessorId worker{0};
 };
 
-/// Completion record for one executed task.
+/// Completion record for one executed task. A k-worker gang produces ONE
+/// record (the lead's) with width == k; the siblings' occupancy is implied
+/// by the contiguous-block rule.
 struct CompletionRecord {
   TaskId task{0};
   ProcessorId worker{0};
@@ -38,6 +42,7 @@ struct CompletionRecord {
   SimTime end{SimTime::zero()};
   SimTime deadline{SimTime::zero()};
   SimDuration comm_cost{SimDuration::zero()};
+  std::uint32_t width{1};  ///< workers occupied: [worker, worker+width)
   [[nodiscard]] bool met_deadline() const { return end <= deadline; }
 };
 

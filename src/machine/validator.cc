@@ -50,6 +50,20 @@ ValidationReport validate_execution(
       continue;
     }
 
+    // Gang occupancy: the logged width must match the task's declared gang
+    // size, and the whole contiguous block must fit in the machine (a gang
+    // is never split or truncated).
+    if (rec.width != task.workers_required) {
+      violate(tag + "logged gang width " + std::to_string(rec.width) +
+              " != workers_required " +
+              std::to_string(task.workers_required));
+    }
+    if (rec.width < 1 ||
+        rec.width > cluster.num_workers() - rec.worker) {
+      violate(tag + "gang block exceeds the machine");
+      continue;
+    }
+
     // Causality.
     if (rec.start < rec.delivered) {
       violate(tag + "started before its schedule was delivered");
@@ -81,13 +95,17 @@ ValidationReport validate_execution(
       violate(tag + "execution span != demand + comm");
     }
 
-    // Per-worker serialization in log order.
-    if (rec.start < worker_cursor[rec.worker]) {
-      violate(tag + "overlaps the previous task on worker " +
-              std::to_string(rec.worker));
+    // Per-worker serialization in log order, across the whole gang block:
+    // every occupied worker must be free at the start, and every one is
+    // held (and charged busy time) until the end.
+    for (std::uint32_t j = 0; j < rec.width; ++j) {
+      if (rec.start < worker_cursor[rec.worker + j]) {
+        violate(tag + "overlaps the previous task on worker " +
+                std::to_string(rec.worker + j));
+      }
+      worker_cursor[rec.worker + j] = rec.end;
+      worker_busy[rec.worker + j] += demand + comm;
     }
-    worker_cursor[rec.worker] = rec.end;
-    worker_busy[rec.worker] += demand + comm;
 
     // Deadline outcome.
     if (rec.met_deadline() != (rec.end <= task.deadline)) {

@@ -67,6 +67,15 @@ class BoundedQueue {
     return items_.size();
   }
 
+  /// Free slots right now (0 when closed). With a single producer this is
+  /// a usable reservation check: consumers only ever grow the free space,
+  /// so a capacity observed here still holds at the producer's next push.
+  [[nodiscard]] std::size_t free_slots() const {
+    std::lock_guard lock(mutex_);
+    if (closed_) return 0;
+    return capacity_ - items_.size();
+  }
+
  private:
   mutable std::mutex mutex_;
   std::condition_variable not_empty_;

@@ -32,6 +32,7 @@ ThreadedBackend::ThreadedBackend(const RuntimeConfig& config)
         const auto scaled_us = std::llround(double(item->exec_cost.us) *
                                             config_.time_scale);
         std::this_thread::sleep_for(std::chrono::microseconds(scaled_us));
+        if (item->occupy_only) continue;
         const SimTime end = now();
         const bool hit = end <= item->task.deadline;
         if (hit) {
@@ -82,29 +83,57 @@ sched::DeliveryResult ThreadedBackend::deliver(
     const std::vector<machine::ScheduledAssignment>& schedule) {
   sched::DeliveryResult out;
   for (const machine::ScheduledAssignment& sa : schedule) {
-    RTDS_REQUIRE(sa.worker < config_.num_workers, "deliver: bad worker id");
+    const std::uint32_t k = sa.task.workers_required;
+    RTDS_REQUIRE(k >= 1 && sa.worker < config_.num_workers &&
+                     k <= config_.num_workers - sa.worker,
+                 "deliver: gang block exceeds the machine");
     const SimDuration cost =
         sa.task.processing + net_.comm_cost(sa.task.affinity, sa.worker);
-    // A full mailbox is retried briefly — a worker popping its next item
-    // frees a slot within microseconds — but the total wait is bounded:
-    // the host must never hang behind a stuck worker.
-    bool pushed = mailboxes_[sa.worker]->try_push(WorkItem{sa.task, cost});
+    // A gang is handed to its k mailboxes atomically or refused whole. The
+    // host is the sole producer, so free slots observed across the block
+    // cannot shrink before the pushes below — checking first gives
+    // all-or-nothing without any rollback. A full mailbox is retried
+    // briefly — a worker popping its next item frees a slot within
+    // microseconds — but the total wait is bounded: the host must never
+    // hang behind a stuck worker.
+    const auto block_free = [&] {
+      for (std::uint32_t j = 0; j < k; ++j) {
+        if (mailboxes_[sa.worker + j]->free_slots() == 0) return false;
+      }
+      return true;
+    };
+    bool room = block_free();
     for (std::uint32_t attempt = 0;
-         !pushed && attempt < config_.delivery_retries; ++attempt) {
+         !room && attempt < config_.delivery_retries; ++attempt) {
       std::this_thread::sleep_for(
           std::chrono::microseconds(config_.delivery_backoff.us));
-      pushed = mailboxes_[sa.worker]->try_push(WorkItem{sa.task, cost});
+      room = block_free();
     }
-    if (!pushed) {
+    if (!room) {
       overflow_drops_.fetch_add(1, std::memory_order_relaxed);
       out.undelivered.push_back(sa);
       continue;
     }
+    // Lead worker judges the deadline and reports the outcome; siblings
+    // get occupy-only items so the job charges k workers but counts once.
+    bool pushed = mailboxes_[sa.worker]->try_push(WorkItem{sa.task, cost});
+    for (std::uint32_t j = 1; j < k; ++j) {
+      pushed = mailboxes_[sa.worker + j]->try_push(
+                   WorkItem{sa.task, cost, /*occupy_only=*/true}) &&
+               pushed;
+    }
+    RTDS_CHECK_MSG(pushed,
+                   "deliver: reserved gang mailbox slot disappeared");
     const SimTime push_time = now();
-    const SimTime start =
-        busy_until_[sa.worker] < push_time ? push_time
-                                           : busy_until_[sa.worker];
-    busy_until_[sa.worker] = start + cost;
+    SimTime start = push_time;
+    for (std::uint32_t j = 0; j < k; ++j) {
+      if (busy_until_[sa.worker + j] > start) {
+        start = busy_until_[sa.worker + j];
+      }
+    }
+    for (std::uint32_t j = 0; j < k; ++j) {
+      busy_until_[sa.worker + j] = start + cost;
+    }
     ++out.accepted;
   }
   if (!out.undelivered.empty()) {

@@ -97,6 +97,10 @@ class ThreadedBackend final : public sched::ExecutionBackend {
   struct WorkItem {
     tasks::Task task;
     SimDuration exec_cost;
+    /// Gang sibling: occupy the worker for exec_cost but record no outcome
+    /// — the lead worker's item alone judges the deadline and reports to
+    /// the ledger, so a k-worker job stays ONE task in every count.
+    bool occupy_only{false};
   };
   /// Per-task terminal outcome, judged by a worker against the wall clock.
   struct Outcome {

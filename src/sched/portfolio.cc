@@ -117,11 +117,19 @@ SearchResult PartitionScheduler::schedule_phase(
 
   // Estimated end offset of placing task i on worker k, or -1 when the
   // placement fails the deadline-capacity fit test. Charges one budget
-  // unit per probe (a fit test is a candidate evaluation, Sec. 4.1).
+  // unit per probe (a fit test is a candidate evaluation, Sec. 4.1). For a
+  // gang, k is the lead of the block [k, k+workers_required): the block
+  // must fit in the machine and the estimate starts at the block's max
+  // load, matching PartialSchedule's occupancy rule so pass 2 can commit.
   const auto probe = [&](std::uint32_t i, std::uint32_t k) -> std::int64_t {
     const auto& tc = ps.constants(i);
+    if (std::size_t{k} + tc.workers_required > m) return -1;
     const std::int64_t comm = net.comm_cost(batch[i].affinity, k).us;
-    const std::int64_t start = est[k] > tc.es_off_us ? est[k] : tc.es_off_us;
+    std::int64_t load = est[k];
+    for (std::uint32_t j = 1; j < tc.workers_required; ++j) {
+      load = std::max(load, est[k + j]);
+    }
+    const std::int64_t start = load > tc.es_off_us ? load : tc.es_off_us;
     const std::int64_t end = start + tc.processing_us + comm;
     return end <= tc.d_off_us ? end : -1;
   };
@@ -175,7 +183,11 @@ SearchResult PartitionScheduler::schedule_phase(
     }
     if (chosen != kUnassigned && !stats.budget_exhausted) {
       home[i] = chosen;
-      est[chosen] = chosen_end;
+      // A gang charges its estimated end to every worker in its block.
+      const std::uint32_t width = ps.constants(i).workers_required;
+      for (std::uint32_t j = 0; j < width; ++j) {
+        est[chosen + j] = chosen_end;
+      }
     }
   }
 

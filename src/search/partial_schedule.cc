@@ -40,6 +40,9 @@ PartialSchedule::PartialSchedule(const std::vector<Task>* batch,
                        : 0;
     tc.d_off_us = (t.deadline - delivery_time_).us;
     tc.affinity_bits = t.affinity.raw();
+    RTDS_REQUIRE(t.workers_required >= 1,
+                 "PartialSchedule: workers_required must be >= 1");
+    tc.workers_required = t.workers_required;
   }
 
   unassigned_.resize((n + 63) / 64);
@@ -123,10 +126,21 @@ bool PartialSchedule::evaluate_fast(std::uint32_t task_index,
   }
 
   const std::int64_t prev_ce_us = ce_[worker].us;
+  // A k-worker gang claims the contiguous block [worker, worker+k): it can
+  // start only once EVERY block member's queue has drained, and a block
+  // running past worker m-1 is no placement at all. k == 1 (the common
+  // case) skips the block scan entirely.
+  std::int64_t block_ce_us = prev_ce_us;
+  if (tc.workers_required > 1) {
+    if (std::size_t{worker} + tc.workers_required > ce_.size()) return false;
+    for (std::uint32_t j = 1; j < tc.workers_required; ++j) {
+      block_ce_us = std::max(block_ce_us, ce_[worker + j].us);
+    }
+  }
   // Execution cannot start before the task's start-time constraint; the
   // worker idles until then (footnote 1 task model).
   const std::int64_t start_us =
-      prev_ce_us > tc.es_off_us ? prev_ce_us : tc.es_off_us;
+      block_ce_us > tc.es_off_us ? block_ce_us : tc.es_off_us;
   const std::int64_t end_us = start_us + tc.processing_us + comm_us;
 
   // Fig. 4: t_c + RQ_s(j) + se_lk <= d_l, with t_c + RQ_s == delivery_time.
@@ -144,12 +158,22 @@ bool PartialSchedule::evaluate_fast(std::uint32_t task_index,
 
 void PartialSchedule::push(const Assignment& a) {
   RTDS_ASSERT(!assigned(a.task_index));
-  RTDS_ASSERT(a.worker < ce_.size());
+  RTDS_ASSERT(std::size_t{a.worker} +
+                  constants_[a.task_index].workers_required <=
+              ce_.size());
   // Integrity: the assignment must have been evaluated at this exact state.
   RTDS_ASSERT(ce_[a.worker] == a.prev_ce);
   RTDS_ASSERT(max_ce_ == a.prev_max_ce);
   const std::uint32_t pos = pos_of(a.task_index);
   unassigned_[pos >> 6] &= ~(std::uint64_t{1} << (pos & 63));
+  // A gang charges its whole worker block to the same end offset; the
+  // siblings' pre-push offsets go on the side undo stack (the lead's is
+  // Assignment::prev_ce).
+  const std::uint32_t k = constants_[a.task_index].workers_required;
+  for (std::uint32_t j = 1; j < k; ++j) {
+    gang_undo_.push_back(ce_[a.worker + j]);
+    ce_[a.worker + j] = a.end_offset;
+  }
   ce_[a.worker] = a.end_offset;
   max_ce_ = max_duration(max_ce_, a.end_offset);
   path_.push_back(a);
@@ -160,6 +184,11 @@ void PartialSchedule::pop() {
   const Assignment& a = path_.back();
   const std::uint32_t pos = pos_of(a.task_index);
   unassigned_[pos >> 6] |= std::uint64_t{1} << (pos & 63);
+  const std::uint32_t k = constants_[a.task_index].workers_required;
+  for (std::uint32_t j = k; j-- > 1;) {
+    ce_[a.worker + j] = gang_undo_.back();
+    gang_undo_.pop_back();
+  }
   ce_[a.worker] = a.prev_ce;
   // LIFO discipline means the pre-push CE recorded on the assignment is
   // exactly the post-pop CE — no rescan needed.

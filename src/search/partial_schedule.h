@@ -73,6 +73,9 @@ class PartialSchedule {
     std::int64_t es_off_us{0};      ///< max(0, earliest_start - delivery)
     std::int64_t d_off_us{0};       ///< deadline - delivery (may be < 0)
     std::uint64_t affinity_bits{0};  ///< AffinitySet::raw()
+    /// Gang width k: the job occupies the contiguous worker block
+    /// [worker, worker+k). k == 1 is the sequential task model.
+    std::uint32_t workers_required{1};
   };
 
   /// `batch` must outlive this object and must not be mutated while it is
@@ -139,6 +142,9 @@ class PartialSchedule {
   /// so when that bound already misses the deadline every one of the m
   /// placements is infeasible and the engine can charge the budget without
   /// evaluating each. `min_ce` must be this schedule's current min_ce().
+  /// Sound for gangs too: a gang's start is the max completion offset over
+  /// its worker block, which is >= min_ce, and the structurally invalid
+  /// leads (block past worker m) are infeasible by definition.
   [[nodiscard]] bool task_unplaceable(std::uint32_t task_index,
                                       SimDuration min_ce) const {
     const TaskConstants& tc = constants_[task_index];
@@ -169,8 +175,10 @@ class PartialSchedule {
   /// current state).
   void push(const Assignment& a);
 
-  /// Undoes the most recent assignment (backtracking). O(1): restores the
-  /// worker's queue offset and CE from the assignment's undo fields.
+  /// Undoes the most recent assignment (backtracking). O(1) for sequential
+  /// tasks (restores the worker's queue offset and CE from the assignment's
+  /// undo fields); O(k) for a k-worker gang, whose sibling offsets are
+  /// restored from the side undo stack push() recorded.
   void pop();
 
   /// Assignments along the current path, in path order.
@@ -196,6 +204,11 @@ class PartialSchedule {
   const std::uint32_t* order_{nullptr};        ///< nullptr = identity
   std::vector<std::uint32_t> pos_of_task_;     ///< empty = identity
   std::vector<Assignment> path_;
+  /// Sibling undo values for gang assignments: push() of a k-worker gang
+  /// appends the k-1 pre-push completion offsets of workers
+  /// [worker+1, worker+k) (the lead's lives in Assignment::prev_ce), and
+  /// pop() restores them. Valid because push/pop are strictly LIFO.
+  std::vector<SimDuration> gang_undo_;
 };
 
 }  // namespace rtds::search

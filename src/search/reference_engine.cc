@@ -60,6 +60,13 @@ class ReferencePartialSchedule {
     RTDS_REQUIRE(!assigned_[task_index], "evaluate: task already assigned");
 
     const Task& t = (*batch_)[task_index];
+    // Gang occupancy rule (must match PartialSchedule::evaluate_fast): the
+    // contiguous block [worker, worker+k) must fit in the machine, and the
+    // job starts only once the whole block has drained. Communication is
+    // priced against the lead worker's affinity alone.
+    if (std::size_t{worker} + t.workers_required > ce_.size()) {
+      return std::nullopt;
+    }
     Assignment a;
     a.task_index = task_index;
     a.worker = worker;
@@ -67,6 +74,9 @@ class ReferencePartialSchedule {
     a.prev_ce = ce_[worker];
     a.prev_max_ce = max_ce_;
     a.start_offset = a.prev_ce;
+    for (std::uint32_t j = 1; j < t.workers_required; ++j) {
+      a.start_offset = max_duration(a.start_offset, ce_[worker + j]);
+    }
     if (t.earliest_start > delivery_time_) {
       a.start_offset =
           max_duration(a.start_offset, t.earliest_start - delivery_time_);
@@ -82,6 +92,11 @@ class ReferencePartialSchedule {
     RTDS_ASSERT(a.worker < ce_.size());
     RTDS_ASSERT(ce_[a.worker] == a.prev_ce);
     assigned_[a.task_index] = true;
+    const std::uint32_t k = (*batch_)[a.task_index].workers_required;
+    for (std::uint32_t j = 1; j < k; ++j) {
+      gang_undo_.push_back(ce_[a.worker + j]);
+      ce_[a.worker + j] = a.end_offset;
+    }
     ce_[a.worker] = a.end_offset;
     max_ce_ = max_duration(max_ce_, ce_[a.worker]);
     path_.push_back(a);
@@ -92,6 +107,11 @@ class ReferencePartialSchedule {
     const Assignment a = path_.back();
     path_.pop_back();
     assigned_[a.task_index] = false;
+    const std::uint32_t k = (*batch_)[a.task_index].workers_required;
+    for (std::uint32_t j = k; j-- > 1;) {
+      ce_[a.worker + j] = gang_undo_.back();
+      gang_undo_.pop_back();
+    }
     ce_[a.worker] = a.prev_ce;
     // Historic behavior: max_ce recomputed with a full O(m) rescan.
     max_ce_ = SimDuration::zero();
@@ -107,6 +127,7 @@ class ReferencePartialSchedule {
   SimDuration max_ce_{SimDuration::zero()};
   std::vector<bool> assigned_;
   std::vector<Assignment> path_;
+  std::vector<SimDuration> gang_undo_;
 };
 
 struct Node {

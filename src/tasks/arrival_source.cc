@@ -106,6 +106,29 @@ SimDuration OnOffArrivalSource::draw_gap(Xoshiro256ss&) {
   return on_gap_;
 }
 
+PeriodicArrivalSource::PeriodicArrivalSource(const StreamConfig& config,
+                                             SimDuration period,
+                                             SimDuration jitter)
+    : GeneratedArrivalSource(config), period_(period), jitter_(jitter) {
+  RTDS_REQUIRE(period > SimDuration::zero(),
+               "PeriodicArrivalSource: period must be positive");
+  RTDS_REQUIRE(!jitter.is_negative() && jitter <= period,
+               "PeriodicArrivalSource: jitter must be in [0, period]");
+}
+
+SimDuration PeriodicArrivalSource::draw_gap(Xoshiro256ss& rng) {
+  // Release k is at start + k*period + J_k, so the gap from release k-1 is
+  // period + J_k - J_{k-1}; jitter <= period keeps it >= 0. The very first
+  // release also lands one period after `start`, matching the other
+  // sources (first arrival = start + one drawn gap).
+  if (jitter_.is_zero()) return period_;
+  const SimDuration j =
+      rng.uniform_duration(SimDuration::zero(), jitter_);
+  const SimDuration gap = period_ + j - prev_jitter_;
+  prev_jitter_ = j;
+  return gap;
+}
+
 SporadicArrivalSource::SporadicArrivalSource(const StreamConfig& config,
                                              SimDuration min_gap,
                                              SimDuration mean_extra_gap)

@@ -9,7 +9,7 @@
 // can in principle run forever — in practice every generator is bounded by
 // `max_tasks` so runs terminate and conservation can be checked at drain.
 //
-// Three arrival processes are provided, spanning the open-workload models
+// Four arrival processes are provided, spanning the open-workload models
 // of the real-time literature:
 //
 //   PoissonArrivalSource   memoryless gaps, Exp(mean) — the classic open
@@ -21,6 +21,10 @@
 //                          min_gap + Exp(mean_extra_gap), the sporadic
 //                          task model (arXiv:1809.04355) where min_gap is
 //                          the contracted rate limit
+//   PeriodicArrivalSource  the canonical periodic task model
+//                          (arXiv:1001.4115): release k at start +
+//                          k*period + U[0, jitter], max_tasks bounding
+//                          the hyperperiod
 //
 // Task BODIES (processing, affinity, deadline laxity, start offsets,
 // reclaimable slack) are drawn by tasks::draw_task_body from the same
@@ -149,6 +153,26 @@ class OnOffArrivalSource final : public GeneratedArrivalSource {
   std::uint32_t burst_len_;
   SimDuration off_gap_;
   std::uint32_t in_burst_{0};
+};
+
+/// Periodic releases with bounded jitter: arrival k lands at
+/// start + k*period + J_k with J_k ~ U[0, jitter] (jitter == 0 is the
+/// strictly periodic train). Gaps stay >= 0 because jitter <= period is
+/// enforced, so the source honors the sorted-arrival contract. `max_tasks`
+/// is the hyperperiod bound: the caller chooses how many releases fit the
+/// horizon under study.
+class PeriodicArrivalSource final : public GeneratedArrivalSource {
+ public:
+  PeriodicArrivalSource(const StreamConfig& config, SimDuration period,
+                        SimDuration jitter = SimDuration::zero());
+
+ protected:
+  SimDuration draw_gap(Xoshiro256ss& rng) override;
+
+ private:
+  SimDuration period_;
+  SimDuration jitter_;
+  SimDuration prev_jitter_{SimDuration::zero()};
 };
 
 /// Sporadic arrivals with minimum inter-arrival enforcement: gap = min_gap

@@ -20,7 +20,9 @@ std::string Task::to_string() const {
   std::ostringstream os;
   os << "T" << id << "{a=" << arrival.us << "us, p=" << processing.us
      << "us, d=" << deadline.us << "us, affinity=0x" << std::hex
-     << affinity.raw() << std::dec << "}";
+     << affinity.raw() << std::dec;
+  if (workers_required > 1) os << ", gang=" << workers_required;
+  os << "}";
   return os.str();
 }
 

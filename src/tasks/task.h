@@ -113,6 +113,14 @@ struct Task {
   /// queued task early. Must never exceed `processing`.
   SimDuration actual_processing{SimDuration::zero()};
 
+  /// Gang width (job parallelism, arXiv:0805.3237): the task occupies this
+  /// many workers simultaneously for its whole execution. The scheduler
+  /// places the *lead* worker w and the job then claims the contiguous
+  /// block [w, w+workers_required); communication cost is priced against
+  /// the lead's affinity only. 1 (the default) is the paper's sequential
+  /// task model.
+  std::uint32_t workers_required{1};
+
   /// The demand a worker actually executes.
   [[nodiscard]] SimDuration effective_processing() const {
     return actual_processing.is_zero() ? processing : actual_processing;

@@ -24,6 +24,16 @@ void validate_task_body_config(const WorkloadConfig& cfg) {
                    cfg.actual_fraction_min <= cfg.actual_fraction_max &&
                    cfg.actual_fraction_max <= 1.0,
                "workload: bad actual-cost fraction range");
+  RTDS_REQUIRE(cfg.gang_fraction >= 0.0 && cfg.gang_fraction <= 1.0,
+               "workload: gang fraction outside [0,1]");
+  RTDS_REQUIRE(cfg.gang_fraction == 0.0 ||
+                   (cfg.gang_max_workers >= 2 &&
+                    cfg.gang_max_workers <= cfg.num_processors),
+               "workload: gang_max_workers must be in [2, num_processors]");
+  RTDS_REQUIRE(cfg.num_releases >= 1, "workload: need >= 1 release");
+  RTDS_REQUIRE(cfg.num_releases == 1 ||
+                   cfg.release_period > SimDuration::zero(),
+               "workload: repeated releases need a positive period");
 }
 
 Task draw_task_body(const WorkloadConfig& cfg, TaskId id, SimTime arrival,
@@ -64,6 +74,15 @@ Task draw_task_body(const WorkloadConfig& cfg, TaskId id, SimTime arrival,
   t.deadline =
       t.earliest_start +
       SimDuration{std::int64_t(std::llround(laxity * double(t.processing.us)))};
+
+  // Gang width draw comes last and only when the dial is on, so legacy
+  // configs consume exactly the historic rng stream.
+  if (cfg.gang_fraction > 0.0 && rng.bernoulli(cfg.gang_fraction)) {
+    const auto hi = std::int64_t(
+        std::min(cfg.gang_max_workers, cfg.num_processors));
+    t.workers_required =
+        static_cast<std::uint32_t>(rng.uniform_int(2, std::max<std::int64_t>(2, hi)));
+  }
   return t;
 }
 
@@ -77,7 +96,7 @@ std::vector<Task> generate_workload(const WorkloadConfig& cfg,
   }
 
   std::vector<Task> out;
-  out.reserve(cfg.num_tasks);
+  out.reserve(std::size_t{cfg.num_tasks} * cfg.num_releases);
 
   SimTime arrival_cursor = cfg.start;
   for (std::uint32_t i = 0; i < cfg.num_tasks; ++i) {
@@ -97,7 +116,22 @@ std::vector<Task> generate_workload(const WorkloadConfig& cfg,
             cfg.start + cfg.burst_interval * std::int64_t(i / cfg.burst_size);
         break;
     }
-    out.push_back(draw_task_body(cfg, cfg.first_id + i, arrival, rng));
+    // One body draw per logical task; releases are time-shifted copies
+    // with fresh deadlines (periodic task model). Release r of logical
+    // task i gets id first_id + i*num_releases + r, so ids stay unique
+    // and attributable to their logical task.
+    const Task body = draw_task_body(
+        cfg, cfg.first_id + i * cfg.num_releases, arrival, rng);
+    out.push_back(body);
+    for (std::uint32_t r = 1; r < cfg.num_releases; ++r) {
+      Task rel = body;
+      const SimDuration shift = cfg.release_period * std::int64_t(r);
+      rel.id = body.id + r;
+      rel.arrival = body.arrival + shift;
+      rel.earliest_start = body.earliest_start + shift;
+      rel.deadline = body.deadline + shift;
+      out.push_back(rel);
+    }
   }
 
   std::stable_sort(out.begin(), out.end(),

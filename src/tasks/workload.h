@@ -63,12 +63,32 @@ struct WorkloadConfig {
   double actual_fraction_min{1.0};
   double actual_fraction_max{1.0};
 
+  /// Gang/moldable jobs (arXiv:0805.3237): each task is independently a
+  /// gang with probability `gang_fraction`; a gang's width is drawn
+  /// uniformly from [2, min(gang_max_workers, num_processors)]. With
+  /// gang_fraction == 0 (default) no gang draws are made at all, so legacy
+  /// rng streams are byte-identical.
+  double gang_fraction{0.0};
+  std::uint32_t gang_max_workers{2};
+
+  /// Periodic releases (the canonical real-time task model): each of the
+  /// `num_tasks` logical tasks re-releases `num_releases` times, every
+  /// `release_period` (so the generated workload holds
+  /// num_tasks * num_releases jobs). Release r of a logical task is a copy
+  /// of its body with arrival / earliest start / deadline shifted by
+  /// r * release_period — fresh deadlines per release. The caller bounds
+  /// the horizon (hyperperiod) by choosing num_releases. With
+  /// num_releases == 1 (default) generation is byte-identical to the
+  /// one-shot model.
+  SimDuration release_period{SimDuration::zero()};
+  std::uint32_t num_releases{1};
+
   /// First task id to assign (ids are sequential from here).
   TaskId first_id{0};
 };
 
-/// Generates `cfg.num_tasks` tasks, sorted by arrival time.
-/// All randomness comes from `rng` (deterministic given the seed).
+/// Generates `cfg.num_tasks * cfg.num_releases` tasks, sorted by arrival
+/// time. All randomness comes from `rng` (deterministic given the seed).
 std::vector<Task> generate_workload(const WorkloadConfig& cfg,
                                     Xoshiro256ss& rng);
 

@@ -111,7 +111,21 @@ void apply_mutation(Mutation mutation, BackendRun& run) {
         r.quantum = usec(r.quantum.us + 1);
       }
       return;
+    case Mutation::kCorruptGangWidth:
+      // Handled in run_scenario: this mutation doctors the workload copy
+      // the gang-occupancy oracle sees, not the BackendRun.
+      return;
   }
+}
+
+/// kCorruptGangWidth: every gang task claims one worker more than it was
+/// actually given, so the oracle's declared-vs-executed width cross-check
+/// fires iff a gang task executed.
+std::vector<tasks::Task> doctor_gang_widths(std::vector<tasks::Task> tasks) {
+  for (tasks::Task& t : tasks) {
+    if (t.workers_required >= 2) ++t.workers_required;
+  }
+  return tasks;
 }
 
 void summarize(std::ostringstream& os, const BackendRun& run) {
@@ -168,6 +182,12 @@ ScenarioResult run_scenario(const Scenario& scenario,
   }
   const auto quantum = make_quantum(scenario);
   const sched::PipelineConfig des_config = pipeline_config(scenario, false);
+  // The workload the gang-occupancy oracle audits against — identical to
+  // the real one unless the self-test mutation doctors the declared widths.
+  const std::vector<tasks::Task> oracle_workload =
+      options.mutation == Mutation::kCorruptGangWidth
+          ? doctor_gang_widths(workload)
+          : workload;
 
   // -- sim: the reference run ------------------------------------------------
   machine::Cluster sim_cluster(
@@ -186,6 +206,8 @@ ScenarioResult run_scenario(const Scenario& scenario,
     oracle_conservation(result.sim, result.violations);
     oracle_quantum_bound(scenario, result.sim, result.violations);
     oracle_schedule_validity("sim", sim_cluster, workload, result.violations);
+    oracle_gang_occupancy("sim", sim_cluster, oracle_workload,
+                          result.violations);
     oracle_stream_accounting(result.sim, result.violations);
   }
 
@@ -205,6 +227,8 @@ ScenarioResult run_scenario(const Scenario& scenario,
     oracle_quantum_bound(scenario, result.partitioned, result.violations);
     oracle_schedule_validity("partitioned", part.cluster(0), workload,
                              result.violations);
+    oracle_gang_occupancy("partitioned", part.cluster(0), oracle_workload,
+                          result.violations);
     oracle_stream_accounting(result.partitioned, result.violations);
     if (sim_ok) {
       oracle_metric_parity(result.sim, result.partitioned,

@@ -50,6 +50,13 @@ enum class Mutation {
   kLoseHit,
   /// Inflate one phase's recorded Q_s — caught by the quantum-bound oracle.
   kCorruptQuantum,
+  /// Hand the gang-occupancy oracle a doctored workload whose executed gang
+  /// tasks declare one worker more than they were given — the split-gang
+  /// bug class. Fires ONLY when a gang actually executed, which is what
+  /// makes it the seed for the shrinker's gang-preservation test: a shrink
+  /// candidate that drops the gang dial also drops the failure, so the
+  /// minimal scenario must keep a gang.
+  kCorruptGangWidth,
 };
 
 struct HarnessOptions {

@@ -1,6 +1,8 @@
 #include "testing/oracles.h"
 
+#include <algorithm>
 #include <sstream>
+#include <unordered_map>
 
 namespace rtds::testing {
 namespace {
@@ -26,7 +28,7 @@ const std::vector<std::string>& oracle_names() {
   static const std::vector<std::string> names = {
       "correction-theorem", "conservation",    "schedule-validity",
       "quantum-bound",      "metric-parity",   "threaded-parity",
-      "stream-accounting",
+      "stream-accounting",  "gang-occupancy",
   };
   return names;
 }
@@ -218,6 +220,99 @@ void oracle_stream_accounting(const BackendRun& run,
   expect_eq(out, "stream-accounting", run.name,
             "latency samples (one per accepted delivery)", run.latency_count,
             run.metrics.scheduled);
+}
+
+void oracle_gang_occupancy(const std::string& name,
+                           const machine::Cluster& cluster,
+                           const std::vector<tasks::Task>& workload,
+                           std::vector<std::string>& out) {
+  const char* oracle = "gang-occupancy";
+  const std::uint32_t m = cluster.num_workers();
+
+  std::unordered_map<tasks::TaskId, std::uint32_t> declared_width;
+  declared_width.reserve(workload.size());
+  for (const tasks::Task& t : workload) {
+    declared_width.emplace(t.id, t.workers_required);
+  }
+
+  // Expanded per-worker-slot intervals: one (start, end, task) triple per
+  // occupied worker, derived only from the record's lead + width.
+  struct Slot {
+    std::int64_t start_us;
+    std::int64_t end_us;
+    tasks::TaskId task;
+  };
+  std::vector<std::vector<Slot>> per_worker(m);
+
+  for (const machine::CompletionRecord& rec : cluster.log()) {
+    if (rec.width < 1 || rec.worker >= m || rec.width > m - rec.worker) {
+      std::ostringstream os;
+      os << "task " << rec.task << ": block [" << rec.worker << ", "
+         << rec.worker + rec.width << ") exceeds the " << m
+         << "-worker machine — a gang must never be split or truncated";
+      violation(out, oracle, name, os.str());
+      continue;
+    }
+    if (const auto it = declared_width.find(rec.task);
+        it != declared_width.end() && rec.width != it->second) {
+      std::ostringstream os;
+      os << "task " << rec.task << ": executed with width " << rec.width
+         << " but the workload declares workers_required = " << it->second;
+      violation(out, oracle, name, os.str());
+    }
+    for (std::uint32_t j = 0; j < rec.width; ++j) {
+      per_worker[rec.worker + j].push_back(
+          Slot{rec.start.us, rec.end.us, rec.task});
+    }
+  }
+
+  // Per-worker-slot serialization: with blocks expanded, no worker may run
+  // two tasks at once ([start, end) intervals must not overlap).
+  for (std::uint32_t w = 0; w < m; ++w) {
+    auto& slots = per_worker[w];
+    std::sort(slots.begin(), slots.end(), [](const Slot& a, const Slot& b) {
+      return a.start_us != b.start_us ? a.start_us < b.start_us
+                                      : a.end_us < b.end_us;
+    });
+    for (std::size_t i = 1; i < slots.size(); ++i) {
+      if (slots[i].start_us < slots[i - 1].end_us) {
+        std::ostringstream os;
+        os << "worker " << w << ": task " << slots[i].task << " starts at "
+           << slots[i].start_us << "us before task " << slots[i - 1].task
+           << " ends at " << slots[i - 1].end_us << "us";
+        violation(out, oracle, name, os.str());
+      }
+    }
+  }
+
+  // Machine-wide sweep: at no instant may more than m worker-slots be
+  // occupied. Ends sort before starts at the same instant because the
+  // intervals are half-open.
+  struct Event {
+    std::int64_t t_us;
+    std::int32_t delta;  // +width at start, -width at end
+  };
+  std::vector<Event> events;
+  events.reserve(2 * cluster.log().size());
+  for (const machine::CompletionRecord& rec : cluster.log()) {
+    if (rec.worker >= m || rec.width > m - rec.worker) continue;  // reported
+    events.push_back(Event{rec.start.us, static_cast<std::int32_t>(rec.width)});
+    events.push_back(Event{rec.end.us, -static_cast<std::int32_t>(rec.width)});
+  }
+  std::sort(events.begin(), events.end(), [](const Event& a, const Event& b) {
+    return a.t_us != b.t_us ? a.t_us < b.t_us : a.delta < b.delta;
+  });
+  std::int64_t occupied = 0;
+  for (const Event& e : events) {
+    occupied += e.delta;
+    if (occupied > static_cast<std::int64_t>(m)) {
+      std::ostringstream os;
+      os << occupied << " worker-slots occupied at " << e.t_us
+         << "us on a " << m << "-worker machine";
+      violation(out, oracle, name, os.str());
+      break;  // one breach is enough; later counts are all derived from it
+    }
+  }
 }
 
 void oracle_threaded_parity(const BackendRun& sim, const BackendRun& threaded,

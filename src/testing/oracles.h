@@ -23,6 +23,9 @@
 //                       the threaded backend on parity-class scenarios
 //   stream-accounting   streaming runs: one schedule-latency sample per
 //                       accepted delivery (histogram count == scheduled)
+//   gang-occupancy      gang jobs occupy exactly their contiguous worker
+//                       block, are never split, and no instant commits
+//                       more worker-slots than the machine has
 #pragma once
 
 #include <string>
@@ -95,5 +98,16 @@ void oracle_threaded_parity(const BackendRun& sim, const BackendRun& threaded,
 /// any backend. No-op for runs without a latency digest.
 void oracle_stream_accounting(const BackendRun& run,
                               std::vector<std::string>& out);
+
+/// Gang/moldable occupancy, re-derived from the execution log alone: each
+/// record's block [worker, worker+width) must fit the machine with the
+/// width the workload declares (a gang is never split); per-worker
+/// intervals must not overlap once blocks are expanded; and a sweep over
+/// start/end events must never find more than num_workers occupied
+/// worker-slots at any instant.
+void oracle_gang_occupancy(const std::string& name,
+                           const machine::Cluster& cluster,
+                           const std::vector<tasks::Task>& workload,
+                           std::vector<std::string>& out);
 
 }  // namespace rtds::testing

@@ -9,7 +9,7 @@
 namespace rtds::testing {
 namespace {
 
-constexpr char kTokenPrefix[] = "rtds3";
+constexpr char kTokenPrefix[] = "rtds4";
 constexpr std::uint64_t kWorkloadStream = stream_id("fuzz.workload");
 constexpr std::uint64_t kScenarioStream = stream_id("fuzz.scenario");
 
@@ -57,6 +57,49 @@ void visit_fields(S& s, F&& f) {
   f(s.stream_burst_len);
   f(s.stream_off_us);
   f(s.max_pending);
+  // rtds4 additions: gang and periodic task-model dials.
+  f(s.gang_permille);
+  f(s.gang_max_workers);
+  f(s.release_period_us);
+  f(s.num_releases);
+  f(s.release_jitter_us);
+}
+
+/// Exhaustive kind labels for Scenario::to_string. Returning nullptr for an
+/// unlisted value makes a forgotten new kind print as "unknown(N)" instead
+/// of silently borrowing the last label (the old nested ternaries mislabeled
+/// every kind beyond the ones they spelled out).
+const char* arrival_kind_name(std::uint32_t kind) {
+  switch (kind) {
+    case kArrivalBursty:
+      return "bursty";
+    case kArrivalPoisson:
+      return "poisson";
+    case kArrivalPeriodicBurst:
+      return "periodic-burst";
+  }
+  return nullptr;
+}
+
+const char* open_kind_name(std::uint32_t kind) {
+  switch (kind) {
+    case kOpenClosed:
+      return "closed";
+    case kOpenPoisson:
+      return "poisson";
+    case kOpenOnOff:
+      return "on-off";
+    case kOpenSporadic:
+      return "sporadic";
+    case kOpenPeriodic:
+      return "periodic";
+  }
+  return nullptr;
+}
+
+std::string kind_label(const char* name, std::uint32_t kind) {
+  return name != nullptr ? std::string(name)
+                         : "unknown(" + std::to_string(kind) + ")";
 }
 
 std::uint64_t fnv1a(const std::string& payload) {
@@ -96,6 +139,10 @@ tasks::WorkloadConfig Scenario::workload_config() const {
   wc.max_start_offset = SimDuration{max_start_offset_us};
   wc.actual_fraction_min = double(actual_fraction_min_permille) / 1000.0;
   wc.actual_fraction_max = double(actual_fraction_max_permille) / 1000.0;
+  wc.gang_fraction = double(gang_permille) / 1000.0;
+  wc.gang_max_workers = gang_max_workers;
+  wc.release_period = SimDuration{release_period_us};
+  wc.num_releases = num_releases;
   return wc;
 }
 
@@ -121,6 +168,10 @@ std::unique_ptr<tasks::ArrivalSource> make_stream_source(
       return std::make_unique<tasks::SporadicArrivalSource>(
           cfg, SimDuration{scenario.stream_min_gap_us},
           SimDuration{scenario.stream_mean_gap_us});
+    case kOpenPeriodic:
+      return std::make_unique<tasks::PeriodicArrivalSource>(
+          cfg, SimDuration{scenario.release_period_us},
+          SimDuration{scenario.release_jitter_us});
     default:
       return std::make_unique<tasks::PoissonArrivalSource>(
           cfg, SimDuration{scenario.stream_mean_gap_us});
@@ -235,9 +286,10 @@ Scenario generate_scenario(std::uint64_t base_seed, std::uint64_t index) {
   // run deliberately does not have.
   const double open_roll = rng.uniform_double();
   s.open_arrival = open_roll < 0.70   ? kOpenClosed
-                   : open_roll < 0.82 ? kOpenPoisson
-                   : open_roll < 0.92 ? kOpenOnOff
-                                      : kOpenSporadic;
+                   : open_roll < 0.80 ? kOpenPoisson
+                   : open_roll < 0.88 ? kOpenOnOff
+                   : open_roll < 0.94 ? kOpenSporadic
+                                      : kOpenPeriodic;
   s.stream_mean_gap_us = rng.uniform_int(50, 1000);
   s.stream_min_gap_us = rng.uniform_int(20, 300);
   s.stream_burst_len = static_cast<std::uint32_t>(rng.uniform_int(2, 12));
@@ -246,6 +298,31 @@ Scenario generate_scenario(std::uint64_t base_seed, std::uint64_t index) {
                       ? 0
                       : static_cast<std::uint32_t>(rng.uniform_int(4, 64));
   if (s.open_arrival != kOpenClosed) s.num_shards = 1;
+
+  // -- task models -----------------------------------------------------------
+  // Gang/moldable jobs: ~25% of multi-worker scenarios mix in gangs, a
+  // sub-slice going all-gang. Gang scenarios collapse to a single shard: a
+  // gang wider than its shard could never be placed, and shards partition
+  // the workers.
+  if (s.workers >= 2 && rng.bernoulli(0.25)) {
+    s.gang_permille = rng.bernoulli(0.3)
+                          ? 1000
+                          : static_cast<std::uint32_t>(
+                                rng.uniform_int(100, 600));
+    s.gang_max_workers =
+        static_cast<std::uint32_t>(rng.uniform_int(2, s.workers));
+    s.num_shards = 1;
+  }
+  // Periodic releases: the period/jitter pair feeds both the closed
+  // replication dial (num_releases > 1) and the kOpenPeriodic stream.
+  s.release_period_us = rng.uniform_int(2000, 20000);
+  s.release_jitter_us =
+      rng.bernoulli(0.5) ? 0 : rng.uniform_int(0, s.release_period_us);
+  if (s.open_arrival == kOpenClosed && rng.bernoulli(0.2)) {
+    s.num_releases = static_cast<std::uint32_t>(rng.uniform_int(2, 5));
+    // Keep the total job count in the usual fuzz band.
+    if (s.num_tasks > 40) s.num_tasks = 40;
+  }
 
   // -- parity class ----------------------------------------------------------
   // A slice of the sweep is constructed so the threaded backend MUST agree
@@ -274,6 +351,17 @@ Scenario generate_scenario(std::uint64_t base_seed, std::uint64_t index) {
     s.refusal_period = 0;
     s.mailbox_capacity = 1024;
     s.delivery_retries = 3;
+    // Gangs stay allowed in the parity class (the count-parity argument is
+    // width-agnostic), but the width dial must respect the redrawn worker
+    // count; repeated releases would spread the batch over time, so parity
+    // keeps the one-shot model.
+    if (s.workers < 2) {
+      s.gang_permille = 0;
+      s.gang_max_workers = 2;
+    } else if (s.gang_max_workers > s.workers) {
+      s.gang_max_workers = s.workers;
+    }
+    s.num_releases = 1;
   }
   return s;
 }
@@ -381,9 +469,7 @@ std::string Scenario::to_string() const {
   std::ostringstream os;
   os << "scenario{seed=" << seed << " workers=" << workers
      << " shards=" << num_shards << " tasks=" << num_tasks << " arrival="
-     << (arrival_kind == kArrivalBursty
-             ? "bursty"
-             : arrival_kind == kArrivalPoisson ? "poisson" : "periodic")
+     << kind_label(arrival_kind_name(arrival_kind), arrival_kind)
      << " laxity=[" << laxity_min_centi / 100.0 << ","
      << laxity_max_centi / 100.0 << "]"
      << " proc=[" << processing_min_us << "," << processing_max_us << "]us"
@@ -394,13 +480,21 @@ std::string Scenario::to_string() const {
      << " refuse_every=" << refusal_period << " mailbox=" << mailbox_capacity
      << (reclaim == 1 ? " reclaim" : "")
      << (parity_class == 1 ? " parity" : "");
+  if (gang_permille > 0) {
+    os << " gang=" << gang_permille << "pm<=" << gang_max_workers << "w";
+  }
+  if (num_releases > 1) {
+    os << " releases=" << num_releases << "x" << release_period_us << "us";
+  }
   if (open_arrival != kOpenClosed) {
-    os << " open="
-       << (open_arrival == kOpenPoisson   ? "poisson"
-           : open_arrival == kOpenOnOff   ? "on-off"
-           : open_arrival == kOpenSporadic ? "sporadic"
-                                           : "?")
-       << " gap=" << stream_mean_gap_us << "us max_pending=" << max_pending;
+    os << " open=" << kind_label(open_kind_name(open_arrival), open_arrival);
+    if (open_arrival == kOpenPeriodic) {
+      os << " period=" << release_period_us
+         << "us jitter=" << release_jitter_us << "us";
+    } else {
+      os << " gap=" << stream_mean_gap_us << "us";
+    }
+    os << " max_pending=" << max_pending;
   }
   os << "}";
   return os.str();

@@ -45,6 +45,10 @@ enum : std::uint32_t {
   kOpenPoisson = 1,
   kOpenOnOff = 2,
   kOpenSporadic = 3,
+  /// Periodic release train from release_period_us / release_jitter_us
+  /// (NOT the stream_* gap fields, whose ranges could violate the
+  /// jitter <= period contract).
+  kOpenPeriodic = 4,
 };
 
 /// One complete fuzz case. Defaults form a small valid scenario; the
@@ -113,6 +117,21 @@ struct Scenario {
   /// StreamOptions::max_pending admission bound (0 = no admission control).
   std::uint32_t max_pending{0};
 
+  // -- task models (rtds4) ---------------------------------------------------
+  /// Gang/moldable jobs: each task is a gang with probability
+  /// gang_permille/1000, width uniform in [2, gang_max_workers]. Gang
+  /// scenarios are single-shard by construction (a gang wider than a shard
+  /// could never be placed).
+  std::uint32_t gang_permille{0};
+  std::uint32_t gang_max_workers{2};
+  /// Periodic releases: each logical task re-releases num_releases times
+  /// every release_period_us with fresh deadlines (closed runs), and
+  /// kOpenPeriodic streams release trains of this period with per-release
+  /// jitter uniform in [0, release_jitter_us] (jitter <= period).
+  std::int64_t release_period_us{0};
+  std::uint32_t num_releases{1};
+  std::int64_t release_jitter_us{0};
+
   // -- harness shape ---------------------------------------------------------
   std::uint32_t run_threaded{1};
   /// Parity-eligible construction: bursty arrivals, laxity far beyond
@@ -142,7 +161,7 @@ std::vector<tasks::Task> make_stream_tasks(const Scenario& scenario);
 /// Draws scenario `index` of the sweep rooted at `base_seed`.
 Scenario generate_scenario(std::uint64_t base_seed, std::uint64_t index);
 
-/// One-line replay token ("rtds2.<fields>.c<checksum>"; integer fields are
+/// One-line replay token ("rtds4.<fields>.c<checksum>"; integer fields are
 /// decimal, string fields are "x"-prefixed lowercase hex bytes).
 std::string encode_token(const Scenario& scenario);
 

@@ -38,6 +38,31 @@ std::vector<Scenario> candidates(const Scenario& s) {
     Scenario c = s;
     c.workers = s.workers / 2;
     c.num_shards = 1;  // keep the shards-divide-workers invariant
+    // ...and the gang-fits-the-machine invariant.
+    if (c.workers < 2) c.gang_permille = 0;
+    if (c.gang_max_workers > c.workers && c.workers >= 2) {
+      c.gang_max_workers = c.workers;
+    }
+    push(c);
+  }
+  if (s.gang_permille > 0) {
+    Scenario c = s;
+    c.gang_permille = 0;
+    push(c);
+  }
+  if (s.gang_max_workers > 2) {
+    Scenario c = s;
+    c.gang_max_workers = 2;
+    push(c);
+  }
+  if (s.num_releases > 1) {
+    Scenario c = s;
+    c.num_releases = 1;
+    push(c);
+  }
+  if (s.release_jitter_us > 0) {
+    Scenario c = s;
+    c.release_jitter_us = 0;
     push(c);
   }
   {

@@ -81,6 +81,34 @@ TEST(ThreadedRuntimeTest, BooksBalanceOnBurstyWorkload) {
   EXPECT_GT(r.hit_ratio(), 0.8);
 }
 
+TEST(ThreadedRuntimeTest, GangWorkloadBooksBalanceLive) {
+  // Gangs hold k mailboxes at once: the all-or-nothing reservation must
+  // neither deadlock the host nor lose a task, and with generous laxity
+  // the terminal books balance exactly like the singleton case.
+  const auto algo = sched::make_rt_sads();
+  const auto q = sched::make_self_adjusting_quantum(usec(200), msec(10));
+  tasks::WorkloadConfig wc;
+  wc.num_tasks = 40;
+  wc.num_processors = 4;
+  wc.processing_min = usec(200);
+  wc.processing_max = msec(2);
+  wc.affinity_degree = 1.0;
+  wc.laxity_min = 30.0;
+  wc.laxity_max = 60.0;
+  wc.gang_fraction = 0.5;
+  wc.gang_max_workers = 3;
+  Xoshiro256ss rng(11);
+  const auto wl = tasks::generate_workload(wc, rng);
+  bool any_gang = false;
+  for (const auto& t : wl) any_gang = any_gang || t.workers_required > 1;
+  ASSERT_TRUE(any_gang);
+  const RuntimeReport r = run_threaded(*algo, *q, fast_config(4), wl);
+  EXPECT_EQ(r.total_tasks, 40u);
+  EXPECT_EQ(r.deadline_hits + r.exec_misses, r.scheduled);
+  EXPECT_LE(r.scheduled + r.culled, r.total_tasks);
+  EXPECT_GT(r.hit_ratio(), 0.8);
+}
+
 TEST(ThreadedRuntimeTest, PoissonArrivalsDrainCompletely) {
   const auto algo = sched::make_rt_sads();
   const auto q = sched::make_self_adjusting_quantum(usec(200), msec(10));

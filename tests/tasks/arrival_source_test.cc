@@ -107,6 +107,48 @@ TEST(ArrivalSourceTest, SporadicEnforcesMinimumInterArrival) {
   }
 }
 
+TEST(ArrivalSourceTest, PeriodicWithoutJitterIsAnExactReleaseTrain) {
+  PeriodicArrivalSource a(small_config(5, 32), msec(2));
+  PeriodicArrivalSource b(small_config(5, 32), msec(2));
+  const auto sa = drain(a);
+  const auto sb = drain(b);
+  ASSERT_EQ(sa.size(), 32u);
+  for (std::size_t i = 0; i < sa.size(); ++i) {
+    EXPECT_EQ(sa[i].arrival, sb[i].arrival);
+    // Release k lands exactly at start + (k+1) * period.
+    EXPECT_EQ(sa[i].arrival, SimTime::zero() + msec(2) * std::int64_t(i + 1));
+  }
+}
+
+TEST(ArrivalSourceTest, PeriodicJitterStaysWithinOnePeriodOfNominal) {
+  // With jitter J ~ U[0, j], release k arrives at k*period + J_k, so gaps
+  // vary but each arrival stays within [k*period, k*period + j] and the
+  // stream never goes backwards (J <= period by the constructor contract).
+  PeriodicArrivalSource source(small_config(6, 128), msec(2), msec(1));
+  const auto stream = drain(source);
+  ASSERT_EQ(stream.size(), 128u);
+  bool any_jitter = false;
+  for (std::size_t i = 0; i < stream.size(); ++i) {
+    const SimTime nominal = SimTime::zero() + msec(2) * std::int64_t(i + 1);
+    EXPECT_GE(stream[i].arrival, nominal);
+    EXPECT_LE(stream[i].arrival, nominal + msec(1));
+    if (i > 0) EXPECT_GE(stream[i].arrival, stream[i - 1].arrival);
+    any_jitter = any_jitter || stream[i].arrival != nominal;
+  }
+  EXPECT_TRUE(any_jitter);
+}
+
+TEST(ArrivalSourceTest, PeriodicValidatesPeriodAndJitter) {
+  const StreamConfig cfg = small_config(1);
+  EXPECT_THROW(PeriodicArrivalSource(cfg, SimDuration::zero()),
+               InvalidArgument);
+  EXPECT_THROW(PeriodicArrivalSource(cfg, msec(1), usec(-1)),
+               InvalidArgument);
+  // Jitter beyond the period could reorder releases: rejected up front.
+  EXPECT_THROW(PeriodicArrivalSource(cfg, msec(1), msec(2)),
+               InvalidArgument);
+}
+
 TEST(ArrivalSourceTest, VectorSourceDrainsInOrderAndRejectsUnsorted) {
   Task early;
   early.id = 0;

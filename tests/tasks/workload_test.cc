@@ -147,6 +147,98 @@ TEST(WorkloadTest, ValidatesConfig) {
   EXPECT_THROW(generate_workload(cfg, rng), InvalidArgument);
 }
 
+TEST(WorkloadTest, GangFractionDrawsBoundedWidths) {
+  WorkloadConfig cfg = base_config();
+  cfg.num_processors = 4;
+  cfg.gang_fraction = 0.6;
+  cfg.gang_max_workers = 3;
+  Xoshiro256ss rng(20);
+  const auto wl = generate_workload(cfg, rng);
+  std::uint32_t gangs = 0;
+  for (const Task& t : wl) {
+    EXPECT_GE(t.workers_required, 1u);
+    EXPECT_LE(t.workers_required, 3u);
+    EXPECT_NE(t.workers_required, 0u);
+    if (t.workers_required > 1) ++gangs;
+  }
+  // 0.6 of 200 tasks: overwhelmingly unlikely to see none (or all).
+  EXPECT_GT(gangs, 0u);
+  EXPECT_LT(gangs, wl.size());
+}
+
+TEST(WorkloadTest, GangWidthClampedToMachine) {
+  WorkloadConfig cfg = base_config();
+  cfg.num_processors = 2;
+  cfg.gang_fraction = 1.0;
+  cfg.gang_max_workers = 2;
+  Xoshiro256ss rng(21);
+  const auto wl = generate_workload(cfg, rng);
+  for (const Task& t : wl) EXPECT_EQ(t.workers_required, 2u);
+}
+
+TEST(WorkloadTest, PeriodicReleasesReplicateBodiesWithShiftedWindows) {
+  WorkloadConfig cfg = base_config();
+  cfg.num_tasks = 30;
+  cfg.num_releases = 3;
+  cfg.release_period = msec(5);
+  cfg.first_id = 100;
+  Xoshiro256ss rng(22);
+  const auto wl = generate_workload(cfg, rng);
+  ASSERT_EQ(wl.size(), 90u);
+  // Regenerate the one-shot bodies from the same seed: release r of logical
+  // task i must be that body with id +r and its whole window shifted by
+  // r * period.
+  WorkloadConfig one_shot = cfg;
+  one_shot.num_releases = 1;
+  one_shot.release_period = SimDuration::zero();
+  Xoshiro256ss rng2(22);
+  const auto bodies = generate_workload(one_shot, rng2);
+  ASSERT_EQ(bodies.size(), 30u);
+  std::uint32_t matched = 0;
+  for (const Task& t : wl) {
+    const std::uint32_t logical =
+        static_cast<std::uint32_t>((t.id - cfg.first_id) / cfg.num_releases);
+    const std::uint32_t release =
+        static_cast<std::uint32_t>((t.id - cfg.first_id) % cfg.num_releases);
+    ASSERT_LT(logical, bodies.size());
+    // One-shot ids are first_id + i; the replicated scheme strides them.
+    const Task& body = bodies[logical];
+    const SimDuration shift = cfg.release_period * std::int64_t(release);
+    EXPECT_EQ(t.processing, body.processing);
+    EXPECT_EQ(t.affinity.raw(), body.affinity.raw());
+    EXPECT_EQ(t.arrival, body.arrival + shift);
+    EXPECT_EQ(t.deadline, body.deadline + shift);
+    EXPECT_EQ(t.earliest_start, body.earliest_start + shift);
+    ++matched;
+  }
+  EXPECT_EQ(matched, 90u);
+  // Still sorted by arrival.
+  for (std::size_t i = 1; i < wl.size(); ++i) {
+    EXPECT_GE(wl[i].arrival, wl[i - 1].arrival);
+  }
+}
+
+TEST(WorkloadTest, ValidatesGangAndReleaseConfig) {
+  Xoshiro256ss rng(23);
+  WorkloadConfig cfg = base_config();
+  cfg.gang_fraction = 1.5;
+  EXPECT_THROW(generate_workload(cfg, rng), InvalidArgument);
+  cfg = base_config();
+  cfg.gang_fraction = 0.5;
+  cfg.gang_max_workers = 1;  // a "gang" of one is a contradiction
+  EXPECT_THROW(generate_workload(cfg, rng), InvalidArgument);
+  cfg = base_config();
+  cfg.gang_fraction = 0.5;
+  cfg.gang_max_workers = cfg.num_processors + 1;  // wider than the machine
+  EXPECT_THROW(generate_workload(cfg, rng), InvalidArgument);
+  cfg = base_config();
+  cfg.num_releases = 0;
+  EXPECT_THROW(generate_workload(cfg, rng), InvalidArgument);
+  cfg = base_config();
+  cfg.num_releases = 2;  // replication needs a positive period
+  EXPECT_THROW(generate_workload(cfg, rng), InvalidArgument);
+}
+
 TEST(ArrivalsInWindowTest, SelectsHalfOpenRange) {
   WorkloadConfig cfg = base_config();
   cfg.arrival = ArrivalPattern::kPoisson;

@@ -79,6 +79,30 @@ TEST(HarnessTest, QuantumMutationIsCaughtByQuantumOracle) {
       << r.to_string();
 }
 
+TEST(HarnessTest, CleanGangScenarioPassesAllOracles) {
+  Scenario s;
+  s.gang_permille = 600;
+  s.gang_max_workers = 3;
+  const ScenarioResult r = run_scenario(s, des_only());
+  EXPECT_TRUE(r.ok()) << r.to_string();
+  EXPECT_GT(r.sim.metrics.deadline_hits, 0u);
+}
+
+TEST(HarnessTest, GangWidthMutationIsCaughtByGangOccupancyOracle) {
+  // The mutation inflates every executed gang's declared width by one, so
+  // the log shows blocks narrower than the workload demands — exactly the
+  // bug class (a backend splitting a gang) this oracle exists to catch.
+  HarnessOptions opts = des_only();
+  opts.mutation = Mutation::kCorruptGangWidth;
+  Scenario s;
+  s.gang_permille = 1000;  // every task a gang: the mutation must fire
+  s.gang_max_workers = 3;
+  const ScenarioResult r = run_scenario(s, opts);
+  ASSERT_FALSE(r.ok());
+  EXPECT_TRUE(any_violation_contains(r, "gang-occupancy(sim)"))
+      << r.to_string();
+}
+
 TEST(HarnessTest, InjectedBugShrinksToMinimalReplayableScenario) {
   // The acceptance-criteria scenario: a deliberately injected ledger bug
   // must be caught AND shrunk to a minimal scenario whose replay token

@@ -34,15 +34,17 @@ TEST(ScenarioTest, DecodeRejectsTamperedToken) {
 
 TEST(ScenarioTest, DecodeRejectsWrongVersionAndGarbage) {
   std::string token = encode_token(Scenario{});
-  ASSERT_EQ(token.substr(0, 5), "rtds3");
-  // rtds1/rtds2 tokens predate the algo_spec string field and the
-  // open-arrival fields respectively: they must be rejected, never silently
-  // decoded into a differently-shaped scenario.
+  ASSERT_EQ(token.substr(0, 5), "rtds4");
+  // rtds1/rtds2/rtds3 tokens predate the algo_spec string field, the
+  // open-arrival fields and the task-model (gang / periodic-release) fields
+  // respectively: they must be rejected, never silently decoded into a
+  // differently-shaped scenario.
   EXPECT_FALSE(decode_token("rtds1" + token.substr(5)).has_value());
   EXPECT_FALSE(decode_token("rtds2" + token.substr(5)).has_value());
+  EXPECT_FALSE(decode_token("rtds3" + token.substr(5)).has_value());
   EXPECT_FALSE(decode_token("rtds9" + token.substr(5)).has_value());
   EXPECT_FALSE(decode_token("").has_value());
-  EXPECT_FALSE(decode_token("rtds3").has_value());
+  EXPECT_FALSE(decode_token("rtds4").has_value());
   EXPECT_FALSE(decode_token("not a token at all").has_value());
   // Truncated field list.
   EXPECT_FALSE(decode_token(token.substr(0, token.size() / 2)).has_value());
@@ -77,7 +79,28 @@ TEST(ScenarioTest, GeneratorKeepsScenariosValid) {
     EXPECT_GT(s.vertex_cost_us, 0);
     EXPECT_GT(s.min_quantum_us, 0);
     EXPECT_LE(s.min_quantum_us, s.max_quantum_us);
+    // Task-model dial validity (rtds4): a gang must fit the machine and
+    // never straddle a shard; a release train needs a positive period and a
+    // jitter within it.
+    EXPECT_LE(s.gang_permille, 1000u);
+    if (s.gang_permille > 0) {
+      EXPECT_GE(s.workers, 2u);
+      EXPECT_GE(s.gang_max_workers, 2u);
+      EXPECT_LE(s.gang_max_workers, s.workers);
+      EXPECT_EQ(s.num_shards, 1u);
+    }
+    EXPECT_GE(s.num_releases, 1u);
+    if (s.num_releases > 1) {
+      EXPECT_GT(s.release_period_us, 0);
+      EXPECT_EQ(s.open_arrival, kOpenClosed);
+    }
+    if (s.open_arrival == kOpenPeriodic) {
+      EXPECT_GT(s.release_period_us, 0);
+      EXPECT_GE(s.release_jitter_us, 0);
+      EXPECT_LE(s.release_jitter_us, s.release_period_us);
+    }
     if (s.parity_class != 0) {
+      EXPECT_EQ(s.num_releases, 1u);
       // Parity-class scenarios must sit in the regime where the threaded
       // backend provably agrees with the DES (see docs/FUZZING.md).
       EXPECT_EQ(s.refusal_period, 0u);
@@ -87,6 +110,65 @@ TEST(ScenarioTest, GeneratorKeepsScenariosValid) {
       EXPECT_GE(s.laxity_min_centi, 1'000'000u);
     }
   }
+}
+
+TEST(ScenarioTest, DescribeLabelsEveryArrivalAndOpenKind) {
+  // to_string must name every enumerator exactly — the old nested ternaries
+  // mislabeled any kind beyond the ones they spelled out, so a periodic
+  // stream described itself as sporadic in fuzz failure reports.
+  Scenario s;
+  const auto described_arrival = [&](std::uint32_t kind) {
+    Scenario c = s;
+    c.arrival_kind = kind;
+    return c.to_string();
+  };
+  EXPECT_NE(described_arrival(kArrivalBursty).find("arrival=bursty"),
+            std::string::npos);
+  EXPECT_NE(described_arrival(kArrivalPoisson).find("arrival=poisson"),
+            std::string::npos);
+  EXPECT_NE(
+      described_arrival(kArrivalPeriodicBurst).find("arrival=periodic-burst"),
+      std::string::npos);
+  // A kind the switch does not know prints as unknown(N), never as a
+  // borrowed neighbor's label.
+  EXPECT_NE(described_arrival(99).find("arrival=unknown(99)"),
+            std::string::npos);
+
+  const auto described_open = [&](std::uint32_t kind) {
+    Scenario c = s;
+    c.open_arrival = kind;
+    if (kind == kOpenPeriodic) {
+      c.release_period_us = 4000;
+      c.release_jitter_us = 500;
+    }
+    return c.to_string();
+  };
+  EXPECT_EQ(described_open(kOpenClosed).find("open="), std::string::npos);
+  EXPECT_NE(described_open(kOpenPoisson).find("open=poisson"),
+            std::string::npos);
+  EXPECT_NE(described_open(kOpenOnOff).find("open=on-off"),
+            std::string::npos);
+  EXPECT_NE(described_open(kOpenSporadic).find("open=sporadic"),
+            std::string::npos);
+  const std::string periodic = described_open(kOpenPeriodic);
+  EXPECT_NE(periodic.find("open=periodic"), std::string::npos);
+  EXPECT_NE(periodic.find("period=4000us jitter=500us"), std::string::npos);
+  EXPECT_EQ(periodic.find("gap="), std::string::npos)
+      << "periodic streams draw from release_period_us, not stream gaps";
+  EXPECT_NE(described_open(77).find("open=unknown(77)"), std::string::npos);
+
+  // Task-model dials only appear when armed.
+  EXPECT_EQ(s.to_string().find("gang="), std::string::npos);
+  EXPECT_EQ(s.to_string().find("releases="), std::string::npos);
+  Scenario gang = s;
+  gang.gang_permille = 400;
+  gang.gang_max_workers = 3;
+  EXPECT_NE(gang.to_string().find("gang=400pm<=3w"), std::string::npos);
+  Scenario releases = s;
+  releases.num_releases = 3;
+  releases.release_period_us = 7000;
+  EXPECT_NE(releases.to_string().find("releases=3x7000us"),
+            std::string::npos);
 }
 
 TEST(ScenarioTest, GenerationIsDeterministic) {
@@ -101,7 +183,7 @@ TEST(ScenarioTest, WorkloadIsDeterministicAndSized) {
   const Scenario s = generate_scenario(7, 3);
   const auto a = make_workload(s);
   const auto b = make_workload(s);
-  EXPECT_EQ(a.size(), s.num_tasks);
+  EXPECT_EQ(a.size(), std::size_t{s.num_tasks} * s.num_releases);
   ASSERT_EQ(a.size(), b.size());
   for (std::size_t i = 0; i < a.size(); ++i) {
     EXPECT_EQ(a[i].id, b[i].id);

@@ -1,0 +1,69 @@
+// Shrinking a gang-dependent failure: the kCorruptGangWidth mutation only
+// fires when a gang actually executes, so every shrink candidate that drops
+// the gang dial (gang_permille = 0) passes and must be REJECTED. The
+// minimal scenario therefore keeps a gang while everything incidental —
+// task count, width ceiling, fault injection — collapses to the floor.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+
+#include "testing/harness.h"
+#include "testing/scenario.h"
+#include "testing/shrink.h"
+
+namespace rtds::testing {
+namespace {
+
+bool any_violation_contains(const ScenarioResult& r, const std::string& what) {
+  return std::any_of(r.violations.begin(), r.violations.end(),
+                     [&](const std::string& v) {
+                       return v.find(what) != std::string::npos;
+                     });
+}
+
+TEST(ShrinkGangTest, GangFailureShrinksButKeepsTheGang) {
+  HarnessOptions opts;
+  opts.run_threaded = false;
+  opts.mutation = Mutation::kCorruptGangWidth;
+
+  Scenario s;
+  s.workers = 4;
+  s.num_shards = 1;
+  s.num_tasks = 40;
+  s.gang_permille = 1000;  // all-gang: the mutation fires on the first record
+  s.gang_max_workers = 4;
+  s.refusal_period = 3;  // incidental noise the shrinker should strip
+  s.run_threaded = 0;
+  ASSERT_FALSE(run_scenario(s, opts).ok());
+
+  const ShrinkResult shrunk = shrink(s, opts, /*max_runs=*/150);
+  ASSERT_FALSE(shrunk.result.ok());
+  EXPECT_TRUE(any_violation_contains(shrunk.result, "gang-occupancy"))
+      << shrunk.result.to_string();
+
+  // The failure needs a gang: the gang_permille -> 0 candidate passed and
+  // was rejected, so the minimal scenario still schedules gangs...
+  EXPECT_GT(shrunk.minimal.gang_permille, 0u);
+  EXPECT_GE(shrunk.minimal.workers, 2u);
+  // ...while the incidental dials collapsed: pairs are the narrowest gang,
+  // and a handful of tasks suffice to execute one.
+  EXPECT_EQ(shrunk.minimal.gang_max_workers, 2u);
+  EXPECT_LE(shrunk.minimal.num_tasks, 10u)
+      << "shrinker left " << shrunk.minimal.num_tasks << " tasks after "
+      << shrunk.runs << " runs";
+  EXPECT_EQ(shrunk.minimal.refusal_period, 0u);
+
+  // The minimal scenario replays from its token alone, and passes cleanly
+  // without the injected mutation (the bug lived in the doctored widths).
+  const auto decoded = decode_token(shrunk.result.token);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(*decoded, shrunk.minimal);
+  ASSERT_FALSE(run_scenario(*decoded, opts).ok());
+  HarnessOptions clean;
+  clean.run_threaded = false;
+  EXPECT_TRUE(run_scenario(*decoded, clean).ok());
+}
+
+}  // namespace
+}  // namespace rtds::testing

@@ -2,6 +2,7 @@
 //
 //   rtds_fuzz [--scenarios N] [--seed S] [--no-threaded] [--time-scale X]
 //             [--shrink-budget N] [--artifact-dir DIR] [--algo SPEC]
+//             [--gang]
 //   rtds_fuzz --replay <token>
 //   rtds_fuzz --list-oracles
 //   rtds_fuzz --list-algos
@@ -9,7 +10,9 @@
 // Sweeps scenarios generate_scenario(seed, 0..N-1) through the harness.
 // By default each scenario draws its algorithm from the portfolio mix;
 // --algo pins every scenario to one registry spec (sched/registry.h) so a
-// single portfolio member can be fuzzed in isolation.
+// single portfolio member can be fuzzed in isolation. --gang forces every
+// scenario gang-heavy (all tasks gangs, >= 2 workers, single shard) so a
+// CI slice can hammer the multi-worker occupancy paths specifically.
 // On the first oracle violation it shrinks the scenario to a minimal
 // still-failing repro, prints both replay tokens, optionally writes them to
 // <artifact-dir>/failing_tokens.txt (uploaded by CI), and exits 1.
@@ -38,6 +41,7 @@ struct Args {
   std::string replay_token;
   std::string artifact_dir;
   std::string algo_spec;  ///< empty = each scenario's own portfolio draw
+  bool gang_heavy = false;
   bool list_oracles = false;
   bool list_algos = false;
   rtds::testing::HarnessOptions harness;
@@ -46,7 +50,7 @@ struct Args {
 void usage(std::ostream& os) {
   os << "usage: rtds_fuzz [--scenarios N] [--seed S] [--no-threaded]\n"
         "                 [--time-scale X] [--shrink-budget N]\n"
-        "                 [--artifact-dir DIR] [--algo SPEC]\n"
+        "                 [--artifact-dir DIR] [--algo SPEC] [--gang]\n"
         "       rtds_fuzz --replay <token>\n"
         "       rtds_fuzz --list-oracles\n"
         "       rtds_fuzz --list-algos\n";
@@ -89,6 +93,8 @@ bool parse_args(int argc, char** argv, Args& args) {
       const char* v = next();
       if (!v) return false;
       args.algo_spec = v;
+    } else if (a == "--gang") {
+      args.gang_heavy = true;
     } else if (a == "--list-oracles") {
       args.list_oracles = true;
     } else if (a == "--list-algos") {
@@ -195,6 +201,17 @@ int main(int argc, char** argv) {
     rtds::testing::Scenario scenario =
         rtds::testing::generate_scenario(args.seed, i);
     if (!pinned_spec.empty()) scenario.algo_spec = pinned_spec;
+    if (args.gang_heavy) {
+      // Force a gang-heavy shape AFTER generation (the draw itself stays
+      // untouched, so replay tokens from this slice decode normally).
+      if (scenario.workers < 2) scenario.workers = 2;
+      scenario.num_shards = 1;
+      scenario.gang_permille = 1000;
+      if (scenario.gang_max_workers < 2 ||
+          scenario.gang_max_workers > scenario.workers) {
+        scenario.gang_max_workers = scenario.workers;
+      }
+    }
     const rtds::testing::ScenarioResult result =
         rtds::testing::run_scenario(scenario, args.harness);
     if (!result.ok()) {
