@@ -3,6 +3,7 @@
 // workload shapes.
 //
 //   bench_search_throughput [--quick] [--reps N] [--iters N] [--out PATH]
+//                           [--capacity-max N]
 //
 // Sweeps (n, m, strategy, task order, representation) cells; each cell runs
 // both engines on identical phase inputs, checks the results are
@@ -15,8 +16,19 @@
 // (budgeted) and speculative vertices/sec with parallel efficiency —
 // interpret the scaling against `hardware_concurrency` in the JSON: on a
 // single-core host every K shares one core and the table shows overhead,
-// not speedup. Writes the machine-readable trajectory to BENCH_SEARCH.json
-// so future PRs can diff throughput against this one.
+// not speedup. A third sweep is the CAPACITY table: generous-deadline
+// batches at n ∈ {10^5, 10^6} (gated by --capacity-max; 0 skips, the
+// --quick default) walked to a full-depth leaf through the wide node
+// header, reporting vertices/sec plus the memory columns — process peak
+// RSS, the engine's pooled arena/workspace bytes, and the parallel shards'
+// arena bytes. n = 10^5 is still verified bit-identical against the
+// reference engine; n = 10^6 (where the reference's per-vertex node heap
+// is the bottleneck) is checked against a from-scratch schedule-invariant
+// oracle and against the parallel engine's replay instead. Writes the
+// machine-readable trajectory to BENCH_SEARCH.json so future PRs can diff
+// throughput against this one.
+#include <sys/resource.h>
+
 #include <algorithm>
 #include <chrono>
 #include <cstdint>
@@ -196,6 +208,85 @@ EngineNumbers measure(const std::vector<PhaseInput>& inputs,
   return out;
 }
 
+/// Process peak RSS (Linux ru_maxrss is KiB) — the capacity memory column.
+std::uint64_t peak_rss_bytes() {
+  rusage usage{};
+  getrusage(RUSAGE_SELF, &usage);
+  return static_cast<std::uint64_t>(usage.ru_maxrss) * 1024;
+}
+
+/// Generous-deadline capacity input: every task feasible on every affinity
+/// holder even if one worker absorbed the whole batch, so depth-first
+/// search walks to a full-depth leaf — the shape that exercises the wide
+/// node header and the arena at n >= 10^5 with a predictable vertex count
+/// of ~n*m (mirrors tests/search/capacity_test.cc).
+PhaseInput make_capacity_input(std::uint32_t n, std::uint32_t m,
+                               std::uint64_t rep) {
+  Xoshiro256ss rng(bench::bench_seed("search_capacity", rep));
+  PhaseInput in;
+  in.delivery = SimTime::zero() + msec(5);
+  const std::int64_t horizon_us = std::int64_t{n} * 1500 + 1'000'000;
+  in.batch.resize(n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    tasks::Task& t = in.batch[i];
+    t.id = i;
+    t.processing = usec(rng.uniform_int(100, 1000));
+    t.deadline = in.delivery + usec(horizon_us);
+    if (rng.bernoulli(0.7)) {
+      t.affinity = tasks::AffinitySet::all(m);
+    } else {
+      const auto holders = static_cast<std::uint32_t>(rng.uniform_int(1, 3));
+      for (std::uint32_t h = 0; h < holders; ++h) {
+        t.affinity.add(
+            static_cast<tasks::ProcessorId>(rng.uniform_int(0, m - 1)));
+      }
+    }
+  }
+  in.base_loads.assign(m, SimDuration::zero());
+  in.budget = std::uint64_t{n} * m + 1000;
+  return in;
+}
+
+/// From-scratch schedule-invariant oracle for capacity runs too large to
+/// replay through the reference engine: re-derives every Assignment field
+/// (undo values, start/end offsets, comm pricing, deadlines, single
+/// assignment per task) from the batch alone. Any divergence is fatal.
+void check_capacity_invariants(const SearchResult& r, const PhaseInput& in,
+                               std::uint32_t m, SimDuration comm,
+                               const std::string& where) {
+  const auto die = [&](const char* what, std::size_t depth) {
+    std::cerr << "FATAL: capacity invariant '" << what << "' failed on "
+              << where << " depth " << depth << "\n";
+    std::exit(1);
+  };
+  if (!r.stats.reached_leaf || r.schedule.size() != in.batch.size()) {
+    die("reached_leaf with full schedule", r.schedule.size());
+  }
+  std::vector<std::int64_t> ce(m, 0);
+  std::vector<char> seen(in.batch.size(), 0);
+  std::int64_t max_ce = 0;
+  for (std::size_t i = 0; i < r.schedule.size(); ++i) {
+    const search::Assignment& a = r.schedule[i];
+    if (a.task_index >= in.batch.size() || a.worker >= m) die("bounds", i);
+    if (seen[a.task_index] != 0) die("task assigned once", i);
+    seen[a.task_index] = 1;
+    const tasks::Task& t = in.batch[a.task_index];
+    const std::int64_t want_comm =
+        t.affinity.contains(a.worker) ? 0 : comm.us;
+    if (a.exec_cost.us != t.processing.us + want_comm) die("exec_cost", i);
+    if (a.prev_ce.us != ce[a.worker]) die("prev_ce undo value", i);
+    if (a.prev_max_ce.us != max_ce) die("prev_max_ce undo value", i);
+    const std::int64_t es =
+        std::max<std::int64_t>(0, (t.earliest_start - in.delivery).us);
+    const std::int64_t start = std::max(ce[a.worker], es);
+    if (a.start_offset.us != start) die("start_offset", i);
+    if (a.end_offset.us != start + a.exec_cost.us) die("end_offset", i);
+    if (a.end_offset.us > (t.deadline - in.delivery).us) die("deadline", i);
+    ce[a.worker] = a.end_offset.us;
+    max_ce = std::max(max_ce, ce[a.worker]);
+  }
+}
+
 const char* strategy_name(const SearchConfig& c) {
   return c.strategy == SearchStrategy::kDepthFirst ? "depth_first"
                                                    : "best_first";
@@ -229,6 +320,12 @@ int main(int argc, char** argv) {
   std::uint32_t reps = 5;
   std::uint32_t iters = 4;
   std::string out_path = "BENCH_SEARCH.json";
+  // Largest capacity-sweep n to run (cells above it are skipped). Default:
+  // the full 10^6 sweep; --quick skips capacity entirely unless the flag
+  // names a ceiling explicitly (CI release-fast runs --quick
+  // --capacity-max 100000).
+  std::uint64_t capacity_max = 0;
+  bool capacity_max_set = false;
   for (int i = 1; i < argc; ++i) {
     const std::string a = argv[i];
     if (a == "--quick") {
@@ -237,11 +334,14 @@ int main(int argc, char** argv) {
       reps = static_cast<std::uint32_t>(std::strtoul(argv[++i], nullptr, 0));
     } else if (a == "--iters" && i + 1 < argc) {
       iters = static_cast<std::uint32_t>(std::strtoul(argv[++i], nullptr, 0));
+    } else if (a == "--capacity-max" && i + 1 < argc) {
+      capacity_max = std::strtoull(argv[++i], nullptr, 0);
+      capacity_max_set = true;
     } else if (a == "--out" && i + 1 < argc) {
       out_path = argv[++i];
     } else {
       std::cerr << "usage: bench_search_throughput [--quick] [--reps N] "
-                   "[--iters N] [--out PATH]\n";
+                   "[--iters N] [--out PATH] [--capacity-max N]\n";
       return 2;
     }
   }
@@ -249,6 +349,7 @@ int main(int argc, char** argv) {
     reps = std::min(reps, 3u);
     iters = std::min(iters, 2u);
   }
+  if (!capacity_max_set) capacity_max = quick ? 0 : 1'000'000;
 
   bench::print_header(
       "Search hot-path throughput: optimized engine vs pre-PR reference",
@@ -418,6 +519,89 @@ int main(int argc, char** argv) {
            << ", \"speedup_vs_1\": " << exp::fmt(speedup, 3)
            << ", \"efficiency_pct\": " << exp::fmt(efficiency, 1) << "}";
     }
+  }
+  json << "\n  ],\n";
+
+  // ---- capacity table: wide-header sizes with memory columns ------------
+  // Schedule-preserving by proof at 10^5 (bit-identical to the reference)
+  // and by oracle at 10^6 (full invariant re-derivation + parallel-replay
+  // bit-identity) — the reference's per-vertex node heap makes a 10^7
+  // vertex replay the memory bottleneck, not the engine under test.
+  json << "  \"capacity_max\": " << capacity_max << ",\n  \"capacity\": [\n";
+  std::cout << "\ncapacity sweep (wide-header sizes, --capacity-max "
+            << capacity_max << ")\n"
+            << "cell                            |  vert/s(opt) | ns/v(opt) | "
+               "peak_rss | workspace | par_arena\n"
+            << "--------------------------------+--------------+-----------+-"
+               "---------+-----------+----------\n";
+  bool first_cap = true;
+  for (const std::uint32_t cap_n : {100'000u, 1'000'000u}) {
+    if (std::uint64_t{cap_n} > capacity_max) continue;
+    const std::uint32_t cap_m = 10;
+    const SimDuration cap_comm = usec(200);
+    const auto net = machine::Interconnect::cut_through(cap_m, cap_comm);
+    const std::string name =
+        "capacity_n" + std::to_string(cap_n) + "_m" + std::to_string(cap_m);
+    const PhaseInput in = make_capacity_input(cap_n, cap_m, 0);
+    SearchConfig cfg;  // RT-SADS defaults: DFS, assignment-oriented, CE.
+
+    // Proof obligations before any timing counts.
+    const search::SearchEngine engine(cfg);
+    const SearchResult opt_result =
+        engine.run(in.batch, in.base_loads, in.delivery, net, in.budget);
+    check_capacity_invariants(opt_result, in, cap_m, cap_comm, name);
+    bool ref_checked = false;
+    if (cap_n <= 100'000u) {
+      const SearchResult ref_result = search::reference::run(
+          cfg, in.batch, in.base_loads, in.delivery, net, in.budget);
+      require_identical(opt_result, ref_result, name);
+      ref_checked = true;
+    }
+    const search::ParallelSearchEngine par(cfg, 2);
+    const SearchResult par_result =
+        par.run(in.batch, in.base_loads, in.delivery, net, in.budget);
+    require_identical(opt_result, par_result, name + " parallel");
+    const std::uint64_t par_arena = par.last_run_stats().arena_bytes;
+
+    // Timing: the sequential engine on the pooled warm arena.
+    const std::uint32_t cap_iters = cap_n >= 1'000'000u ? 1 : 2;
+    std::uint64_t total_ns = 0, total_vertices = 0;
+    for (std::uint32_t it = 0; it < cap_iters; ++it) {
+      const auto t0 = std::chrono::steady_clock::now();
+      const SearchResult r =
+          engine.run(in.batch, in.base_loads, in.delivery, net, in.budget);
+      total_ns += static_cast<std::uint64_t>(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(
+              std::chrono::steady_clock::now() - t0)
+              .count());
+      total_vertices += r.stats.vertices_generated;
+    }
+    const double secs = double(total_ns) * 1e-9;
+    const double vps = secs > 0 ? double(total_vertices) / secs : 0;
+    const double nspv =
+        total_vertices > 0 ? double(total_ns) / double(total_vertices) : 0;
+    const std::uint64_t rss = peak_rss_bytes();
+    const std::uint64_t workspace = search::thread_workspace_peak_bytes();
+
+    std::cout << name;
+    for (std::size_t pad = name.size(); pad < 32; ++pad) std::cout << ' ';
+    std::cout << "| " << std::uint64_t(vps) << " | " << exp::fmt(nspv, 2)
+              << " | " << (rss >> 20) << "M | " << (workspace >> 20)
+              << "M | " << (par_arena >> 20) << "M\n";
+
+    if (!first_cap) json << ",\n";
+    first_cap = false;
+    json << "   {\"config\": \"" << name << "\", \"n\": " << cap_n
+         << ", \"m\": " << cap_m
+         << ", \"vertex_budget\": " << in.budget
+         << ", \"vertices_per_run\": " << (total_vertices / cap_iters)
+         << ", \"vertices_per_sec\": " << std::uint64_t(vps)
+         << ", \"ns_per_vertex\": " << exp::fmt(nspv, 2)
+         << ", \"reached_leaf\": true"
+         << ", \"reference_checked\": " << (ref_checked ? "true" : "false")
+         << ", \"peak_rss_bytes\": " << rss
+         << ", \"workspace_peak_bytes\": " << workspace
+         << ", \"parallel_arena_bytes\": " << par_arena << "}";
   }
   json << "\n  ]\n}\n";
 

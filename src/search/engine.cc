@@ -2,21 +2,29 @@
 
 #include <algorithm>
 #include <bit>
+#include <memory>
 #include <tuple>
+#include <vector>
 
 #include "common/error.h"
+#include "search/expand_core.h"
 
 namespace rtds::search {
 
 namespace {
 
-/// A generated vertex kept in the search arena. `parent` is an index into
-/// the arena, or -1 for children of the root. Depth and cursor are packed
-/// into 16 bits each (run() rejects batches above 65535 tasks) so a node is
-/// one cache line wide with the embedded assignment.
-struct Node {
-  std::int32_t parent{-1};
-  std::uint16_t depth{0};  ///< number of assignments on the path to here
+using detail::Candidate;
+
+/// A generated vertex kept in the search arena, narrow header: depth and
+/// cursor pack into 16 bits each, so a node is 56 bytes with the embedded
+/// assignment. Selected for batches up to 65535 tasks — every realistic
+/// phase batch, and the layout the PR-4 throughput numbers were taken on.
+struct NodeNarrow {
+  using DepthType = std::uint16_t;
+  /// Largest batch this header can index (depth/cursor saturate at 16 bits).
+  static constexpr std::uint32_t kMaxTasks = 65535;
+  std::int32_t parent{-1};  ///< arena index, or -1 for children of the root
+  std::uint16_t depth{0};   ///< number of assignments on the path to here
   /// Assignment-oriented task-scan resume point: tasks before this position
   /// in the consideration order are either assigned on this path or were
   /// proven unplaceable at an ancestor (and stay so, since queue offsets
@@ -25,20 +33,71 @@ struct Node {
   Assignment assignment;
 };
 
-/// A feasible successor awaiting insertion into CL, with its sort key.
-/// Lower keys are higher priority (front of CL). Within one successor group
-/// the key tuple is a strict total order (the last significant component is
-/// the branch index or worker id, unique per candidate), so any comparison
-/// sort produces the historical stable_sort permutation.
-struct Candidate {
+/// Wide header for batches above 65535 tasks: depth and cursor widen to 32
+/// bits (64-byte node — exactly one cache line). Same semantics as
+/// NodeNarrow; the engine body is templated over the two.
+struct NodeWide {
+  using DepthType = std::uint32_t;
+  std::int32_t parent{-1};
+  std::uint32_t depth{0};
+  std::uint32_t order_cursor{0};
   Assignment assignment;
-  std::int64_t key1{0};
-  std::int64_t key2{0};
-  std::uint32_t key3{0};
+};
 
-  bool operator<(const Candidate& o) const {
-    return std::tie(key1, key2, key3) < std::tie(o.key1, o.key2, o.key3);
+static_assert(sizeof(NodeNarrow) <= 56);
+static_assert(sizeof(NodeWide) <= 64);
+
+/// Pool bound retained between runs per node arena: a million-task run can
+/// legitimately grow the arena to hundreds of MB, which must not stay
+/// captive on a long-lived backend thread once the phase is over.
+constexpr std::size_t kArenaRetainBytes = std::size_t{64} << 20;
+
+/// Growable pooled node arena: fixed-size chunks, never a realloc-copy, so
+/// Assignment pointers into it stay stable while it grows and clear()
+/// retains the chunks for the next run (steady-state allocation-free).
+template <typename NodeT>
+class NodeArena {
+ public:
+  static constexpr std::uint32_t kChunkShift = 14;  // 16384 nodes per chunk
+  static constexpr std::uint32_t kChunkNodes = 1u << kChunkShift;
+
+  [[nodiscard]] std::size_t size() const { return size_; }
+  void clear() { size_ = 0; }
+
+  NodeT& emplace_back() {
+    // Arena indices travel as int32 (node ids, CL entries).
+    RTDS_REQUIRE(size_ < (std::size_t{1} << 31),
+                 "SearchEngine: node arena above 2^31 nodes");
+    const std::size_t c = size_ >> kChunkShift;
+    if (c == chunks_.size()) {
+      chunks_.push_back(std::make_unique<NodeT[]>(kChunkNodes));
+    }
+    return chunks_[c][size_++ & (kChunkNodes - 1)];
   }
+
+  [[nodiscard]] NodeT& operator[](std::size_t i) {
+    return chunks_[i >> kChunkShift][i & (kChunkNodes - 1)];
+  }
+  [[nodiscard]] const NodeT& operator[](std::size_t i) const {
+    return chunks_[i >> kChunkShift][i & (kChunkNodes - 1)];
+  }
+
+  [[nodiscard]] std::size_t capacity_bytes() const {
+    return chunks_.size() * (std::size_t{kChunkNodes} * sizeof(NodeT));
+  }
+
+  /// Drops pooled chunks until at most `max_bytes` stay resident. Only
+  /// valid between runs (live node indices become dangling).
+  void trim(std::size_t max_bytes) {
+    size_ = 0;
+    while (!chunks_.empty() && capacity_bytes() > max_bytes) {
+      chunks_.pop_back();
+    }
+  }
+
+ private:
+  std::vector<std::unique_ptr<NodeT[]>> chunks_;
+  std::size_t size_{0};
 };
 
 /// The candidate list CL over caller-owned storage. Depth-first consumes it
@@ -125,105 +184,59 @@ class CandidateList {
   std::vector<Entry>& entries_;
 };
 
-/// Stable in-place insertion sort; O(k) on the nearly-sorted groups the
-/// heuristics produce, and no temp-buffer allocation (std::stable_sort
-/// allocates one per call in libstdc++). Falls back to std::sort for large
-/// groups — safe because candidate keys are strictly totally ordered within
-/// a group, so every comparison sort yields the same permutation.
-void sort_candidates(std::vector<Candidate>& c) {
-  if (c.size() > 48) {
-    std::sort(c.begin(), c.end());
-    return;
-  }
-  for (std::size_t i = 1; i < c.size(); ++i) {
-    Candidate tmp = c[i];
-    std::size_t j = i;
-    for (; j > 0 && tmp < c[j - 1]; --j) c[j] = c[j - 1];
-    c[j] = tmp;
-  }
-}
-
 /// Per-thread scratch buffers reused across run() calls so the hot loop is
 /// allocation-free after the first few phases (capacity is retained by
-/// clear()). thread_local keeps the engine safely shareable across backend
-/// threads.
+/// clear(); arenas pool their chunks and self-trim to kArenaRetainBytes).
+/// thread_local keeps the engine safely shareable across backend threads.
 struct Workspace {
   std::vector<std::uint32_t> order;
-  std::vector<Node> arena;
+  NodeArena<NodeNarrow> narrow;
+  NodeArena<NodeWide> wide;
   std::vector<Candidate> candidates;
   std::vector<CandidateList::Entry> cl_entries;
   std::vector<tasks::ProcessorId> level_order;
+  std::vector<std::uint32_t> task_ids;
   std::vector<const Assignment*> chain;
+  std::size_t peak_bytes{0};
 };
 
-}  // namespace
-
-void task_consideration_order_into(const std::vector<Task>& batch,
-                                   TaskOrder order,
-                                   std::vector<std::uint32_t>& out) {
-  out.resize(batch.size());
-  for (std::uint32_t i = 0; i < batch.size(); ++i) out[i] = i;
-  switch (order) {
-    case TaskOrder::kBatchOrder:
-      break;
-    case TaskOrder::kEarliestDeadline:
-      std::stable_sort(out.begin(), out.end(),
-                       [&](std::uint32_t a, std::uint32_t b) {
-                         return batch[a].deadline < batch[b].deadline;
-                       });
-      break;
-    case TaskOrder::kMinSlack:
-      // Slack ordering (d - t - p) is time-independent within a phase:
-      // compare d - p.
-      std::stable_sort(out.begin(), out.end(),
-                       [&](std::uint32_t a, std::uint32_t b) {
-                         return batch[a].deadline - batch[a].processing <
-                                batch[b].deadline - batch[b].processing;
-                       });
-      break;
-  }
-}
-
-std::vector<std::uint32_t> task_consideration_order(
-    const std::vector<Task>& batch, TaskOrder order) {
-  std::vector<std::uint32_t> idx;
-  task_consideration_order_into(batch, order, idx);
-  return idx;
-}
-
-SearchEngine::SearchEngine(SearchConfig config) : config_(config) {}
-
-SearchResult SearchEngine::run(const std::vector<Task>& batch,
-                               const std::vector<SimDuration>& base_loads,
-                               SimTime delivery_time,
-                               const machine::Interconnect& net,
-                               std::uint64_t vertex_budget) const {
-  SearchResult result;
-  if (batch.empty() || vertex_budget == 0) return result;
-  RTDS_REQUIRE(batch.size() <= 65535,
-               "SearchEngine: phase batch above 65535 tasks");
-
+Workspace& workspace() {
   static thread_local Workspace ws;
+  return ws;
+}
 
-  const auto n = static_cast<std::uint32_t>(batch.size());
+std::size_t workspace_bytes(const Workspace& ws) {
+  return ws.narrow.capacity_bytes() + ws.wide.capacity_bytes() +
+         ws.candidates.capacity() * sizeof(Candidate) +
+         ws.cl_entries.capacity() * sizeof(CandidateList::Entry) +
+         ws.order.capacity() * sizeof(std::uint32_t) +
+         ws.task_ids.capacity() * sizeof(std::uint32_t);
+}
+
+template <typename NodeT>
+SearchResult run_impl(const SearchConfig& config,
+                      const std::vector<Task>& batch,
+                      const std::vector<SimDuration>& base_loads,
+                      SimTime delivery_time, const machine::Interconnect& net,
+                      std::uint64_t vertex_budget, Workspace& ws,
+                      NodeArena<NodeT>& arena) {
+  SearchResult result;
   const std::uint32_t m = net.num_workers();
 
   // kBatchOrder is the identity permutation: skip building (and chasing)
   // the index vector entirely.
-  if (config_.task_order == TaskOrder::kBatchOrder) {
+  if (config.task_order == TaskOrder::kBatchOrder) {
     ws.order.clear();
   } else {
-    task_consideration_order_into(batch, config_.task_order, ws.order);
+    task_consideration_order_into(batch, config.task_order, ws.order);
   }
   const std::uint32_t* order = ws.order.empty() ? nullptr : ws.order.data();
 
   PartialSchedule ps(&batch, base_loads, delivery_time, &net);
   ps.set_consideration_order(order);
 
-  ws.arena.clear();
-  ws.arena.reserve(std::min<std::uint64_t>(vertex_budget, 1u << 20));
-  std::vector<Node>& arena = ws.arena;
-  CandidateList cl(config_.strategy, ws.cl_entries);
+  arena.clear();
+  CandidateList cl(config.strategy, ws.cl_entries);
 
   SearchStats& stats = result.stats;
   std::uint64_t budget_left = vertex_budget;
@@ -237,175 +250,25 @@ SearchResult SearchEngine::run(const std::vector<Task>& batch,
     return id < 0 ? 0u : arena[std::size_t(id)].depth;
   };
 
-  // Computes the CL sort key for a feasible assignment at the current CPS.
-  const auto make_candidate = [&](const Assignment& a,
-                                  std::uint32_t branch_index) {
-    Candidate c;
-    c.assignment = a;
-    if (config_.use_load_balance_cost) {
-      // Resulting CE of the extended schedule (Sec. 4.4), tie-broken by the
-      // task's own completion and the branch order.
-      c.key1 = max_duration(ps.max_ce(), a.end_offset).us;
-      c.key2 = a.end_offset.us;
-      c.key3 = branch_index;
-    } else if (config_.representation == Representation::kAssignmentOriented) {
-      switch (config_.processor_order) {
-        case ProcessorOrder::kIndexOrder:
-          c.key1 = a.worker;
-          break;
-        case ProcessorOrder::kMinEndOffset:
-          c.key1 = a.end_offset.us;
-          c.key2 = a.worker;
-          break;
-        case ProcessorOrder::kMinCommCost:
-          c.key1 = (a.exec_cost - batch[a.task_index].processing).us;
-          c.key2 = a.end_offset.us;
-          c.key3 = a.worker;
-          break;
-      }
-    } else {
-      // Sequence-oriented: tasks were generated in heuristic order already.
-      c.key1 = branch_index;
-    }
-    return c;
-  };
-
-  // Expands the current vertex: generates successors (charging the vertex
-  // budget for every generation, feasible or not), sorts the feasible ones,
-  // and pushes them onto CL best-on-top. Returns the order cursor children
-  // inherit (assignment-oriented only).
+  // Expands the current vertex (shared core, search/expand_core.h): charges
+  // the budget, collects sorted feasible successors, then registers them in
+  // the arena and pushes them onto CL best-on-top.
   std::vector<Candidate>& candidates = ws.candidates;
-  const auto expand_current = [&](std::uint32_t cursor) -> std::uint32_t {
-    ++stats.expansions;
-    candidates.clear();
-    const std::uint32_t depth = ps.depth();
-    if (config_.max_depth != 0 && depth >= config_.max_depth) {
-      return cursor;  // depth-pruned: no successors
-    }
-
-    if (config_.representation == Representation::kAssignmentOriented) {
-      // Select the next task by the (static) task-order heuristic, branch
-      // over every processor (Fig. 2). Tasks with no feasible placement
-      // are skipped (see SearchConfig::skip_unplaceable_tasks) — their
-      // infeasibility holds for the whole subtree, so children resume the
-      // scan at the cursor this expansion returns.
-      //
-      // Queue offsets are fixed during one expansion, so min_ce is hoisted
-      // and feeds the bulk lower-bound test: when even the least-loaded
-      // worker cannot meet the deadline, all m placements are infeasible
-      // and the budget is charged in one step (identical accounting to
-      // evaluating each) without touching the queues.
-      const SimDuration lo = ps.min_ce();
-      std::uint32_t scan = cursor;
-      while (scan < n) {
-        // Find the next unassigned task at or after `scan`.
-        scan = ps.first_unassigned_at_or_after(scan);
-        if (scan == n) break;
-        const std::uint32_t task = ps.task_at(scan);
-        if (ps.task_unplaceable(task, lo)) {
-          const std::uint64_t charged = std::min<std::uint64_t>(m, budget_left);
-          budget_left -= charged;
-          stats.vertices_generated += charged;
-          if (charged < m) stats.budget_exhausted = true;
-        } else {
-          Assignment a;
-          for (std::uint32_t k = 0; k < m; ++k) {
-            if (budget_left == 0) {
-              stats.budget_exhausted = true;
-              break;
-            }
-            --budget_left;
-            ++stats.vertices_generated;
-            if (ps.evaluate_fast(task, k, a)) {
-              candidates.push_back(make_candidate(a, k));
-              if (config_.max_successors != 0 &&
-                  candidates.size() >= config_.max_successors) {
-                break;
-              }
-            }
-          }
-        }
-        if (!candidates.empty() || stats.budget_exhausted ||
-            !config_.skip_unplaceable_tasks) {
-          break;
-        }
-        ++scan;  // task unplaceable in this whole subtree: skip it
-      }
-      cursor = scan;
-    } else {
-      // Select the level's processor (round-robin per Fig. 1, or the
-      // least-loaded-first heuristic the paper allows), branch over every
-      // unassigned task in heuristic order. When the level's processor
-      // admits no feasible task, skip_saturated_processors moves on to the
-      // next processor in the same order (every evaluation still charged).
-      ws.level_order.resize(m);
-      for (std::uint32_t k = 0; k < m; ++k) {
-        ws.level_order[k] = (depth + k) % m;
-      }
-      if (config_.level_processor_order ==
-          LevelProcessorOrder::kLeastLoaded) {
-        // Stable insertion sort (m is small; no stable_sort temp buffer).
-        for (std::uint32_t i = 1; i < m; ++i) {
-          const ProcessorId tmp = ws.level_order[i];
-          std::uint32_t j = i;
-          for (; j > 0 && ps.ce(tmp) < ps.ce(ws.level_order[j - 1]); --j) {
-            ws.level_order[j] = ws.level_order[j - 1];
-          }
-          ws.level_order[j] = tmp;
-        }
-      }
-      const std::uint32_t max_rotations =
-          config_.skip_saturated_processors ? m : 1;
-      const std::vector<std::uint64_t>& words = ps.unassigned_words();
-      for (std::uint32_t rot = 0; rot < max_rotations; ++rot) {
-        const ProcessorId worker = ws.level_order[rot];
-        std::uint32_t branch = 0;
-        Assignment a;
-        bool stop = false;
-        // Iterate unassigned tasks in consideration order straight off the
-        // bitset words (set bit = unassigned position).
-        for (std::size_t w = 0; w < words.size() && !stop; ++w) {
-          std::uint64_t bits = words[w];
-          while (bits != 0) {
-            const auto pos = static_cast<std::uint32_t>(
-                (w << 6) + std::uint32_t(std::countr_zero(bits)));
-            bits &= bits - 1;
-            const std::uint32_t i = ps.task_at(pos);
-            if (budget_left == 0) {
-              stats.budget_exhausted = true;
-              stop = true;
-              break;
-            }
-            --budget_left;
-            ++stats.vertices_generated;
-            if (ps.evaluate_fast(i, worker, a)) {
-              candidates.push_back(make_candidate(a, branch));
-              if (config_.max_successors != 0 &&
-                  candidates.size() >= config_.max_successors) {
-                stop = true;
-                break;
-              }
-            }
-            ++branch;
-          }
-        }
-        if (!candidates.empty() || stats.budget_exhausted) break;
-      }
-    }
-
-    sort_candidates(candidates);
+  const auto expand_current = [&](std::uint32_t cursor) {
+    cursor = detail::expand_vertex(config, ps, batch, m, cursor, budget_left,
+                                   stats, candidates, ws.level_order,
+                                   ws.task_ids);
     // Push worst-first so the best candidate ends on top of the stack
     // (front of CL).
+    const auto depth = static_cast<typename NodeT::DepthType>(ps.depth() + 1);
     for (auto it = candidates.rbegin(); it != candidates.rend(); ++it) {
-      Node node;
+      NodeT& node = arena.emplace_back();
       node.parent = current;
-      node.depth = static_cast<std::uint16_t>(ps.depth() + 1);
-      node.order_cursor = static_cast<std::uint16_t>(cursor);
+      node.depth = depth;
+      node.order_cursor = static_cast<typename NodeT::DepthType>(cursor);
       node.assignment = it->assignment;
-      arena.push_back(node);
       cl.push(*it, static_cast<std::int32_t>(arena.size() - 1));
     }
-    return cursor;
   };
 
   // Switches CPS from `current` to arena vertex `target` via their lowest
@@ -468,14 +331,77 @@ SearchResult SearchEngine::run(const std::vector<Task>& batch,
 
   // Choose the returned path: the deepest (then best-balanced) vertex seen,
   // or the vertex where the search stopped.
-  const std::int32_t chosen = config_.return_deepest ? best_node : current;
+  const std::int32_t chosen = config.return_deepest ? best_node : current;
   std::vector<Assignment> out;
   for (std::int32_t v = chosen; v >= 0; v = arena[std::size_t(v)].parent) {
     out.push_back(arena[std::size_t(v)].assignment);
   }
   std::reverse(out.begin(), out.end());
   result.schedule = std::move(out);
+
+  ws.peak_bytes = std::max(ws.peak_bytes, workspace_bytes(ws));
+  arena.trim(kArenaRetainBytes);
   return result;
+}
+
+}  // namespace
+
+void task_consideration_order_into(const std::vector<Task>& batch,
+                                   TaskOrder order,
+                                   std::vector<std::uint32_t>& out) {
+  out.resize(batch.size());
+  for (std::uint32_t i = 0; i < batch.size(); ++i) out[i] = i;
+  switch (order) {
+    case TaskOrder::kBatchOrder:
+      break;
+    case TaskOrder::kEarliestDeadline:
+      std::stable_sort(out.begin(), out.end(),
+                       [&](std::uint32_t a, std::uint32_t b) {
+                         return batch[a].deadline < batch[b].deadline;
+                       });
+      break;
+    case TaskOrder::kMinSlack:
+      // Slack ordering (d - t - p) is time-independent within a phase:
+      // compare d - p.
+      std::stable_sort(out.begin(), out.end(),
+                       [&](std::uint32_t a, std::uint32_t b) {
+                         return batch[a].deadline - batch[a].processing <
+                                batch[b].deadline - batch[b].processing;
+                       });
+      break;
+  }
+}
+
+std::vector<std::uint32_t> task_consideration_order(
+    const std::vector<Task>& batch, TaskOrder order) {
+  std::vector<std::uint32_t> idx;
+  task_consideration_order_into(batch, order, idx);
+  return idx;
+}
+
+std::size_t thread_workspace_bytes() { return workspace_bytes(workspace()); }
+
+std::size_t thread_workspace_peak_bytes() { return workspace().peak_bytes; }
+
+SearchEngine::SearchEngine(SearchConfig config) : config_(config) {}
+
+SearchResult SearchEngine::run(const std::vector<Task>& batch,
+                               const std::vector<SimDuration>& base_loads,
+                               SimTime delivery_time,
+                               const machine::Interconnect& net,
+                               std::uint64_t vertex_budget) const {
+  SearchResult result;
+  if (batch.empty() || vertex_budget == 0) return result;
+  RTDS_REQUIRE(batch.size() <= kMaxBatchTasks,
+               "SearchEngine: phase batch above kMaxBatchTasks");
+
+  Workspace& ws = workspace();
+  if (batch.size() <= NodeNarrow::kMaxTasks) {
+    return run_impl<NodeNarrow>(config_, batch, base_loads, delivery_time,
+                                net, vertex_budget, ws, ws.narrow);
+  }
+  return run_impl<NodeWide>(config_, batch, base_loads, delivery_time, net,
+                            vertex_budget, ws, ws.wide);
 }
 
 }  // namespace rtds::search

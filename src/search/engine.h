@@ -146,6 +146,22 @@ struct SearchResult {
   SearchStats stats;
 };
 
+/// Hard structural ceiling on one phase batch, checked with InvalidArgument
+/// (it bounds the 32-bit depth/cursor fields of the wide node header; the
+/// narrow 16-bit header is selected automatically below 65536 tasks —
+/// docs/ARCHITECTURE.md, "Search hot path").
+inline constexpr std::uint32_t kMaxBatchTasks = 1u << 30;
+
+/// Bytes currently retained by the calling thread's search workspace (the
+/// pooled narrow/wide node arenas plus candidate scratch). For the bench
+/// memory column; cheap enough to call between runs.
+[[nodiscard]] std::size_t thread_workspace_bytes();
+
+/// High-water mark of thread_workspace_bytes() on the calling thread (the
+/// pool trims itself after oversized runs, so the current value can
+/// understate what a big batch actually used).
+[[nodiscard]] std::size_t thread_workspace_peak_bytes();
+
 /// Depth-first search over the task-space tree. Stateless between runs;
 /// one engine can be reused across phases.
 class SearchEngine {
@@ -157,17 +173,20 @@ class SearchEngine {
   /// Runs one scheduling phase's search.
   ///
   /// `batch`          — snapshot of Batch(j) (tasks to schedule); at most
-  ///                    65535 tasks (arena nodes pack depth/cursor into 16
-  ///                    bits — far above any realistic phase batch);
+  ///                    kMaxBatchTasks tasks (InvalidArgument beyond).
+  ///                    Batches up to 65535 tasks use the packed 16-byte
+  ///                    node header; larger ones promote to the wide
+  ///                    header automatically;
   /// `base_loads`     — per-worker residual load at delivery time,
   ///                    max(0, Load_k(j-1) - Q_s(j));
   /// `delivery_time`  — t_s + Q_s(j);
   /// `net`            — interconnect pricing c_lk;
   /// `vertex_budget`  — maximum number of vertices to generate (>= 1).
   ///
-  /// Thread-safe: per-thread scratch buffers are reused across calls, so
-  /// the search loop performs no heap allocation after the first phases on
-  /// a thread (docs/ARCHITECTURE.md, "Search hot path").
+  /// Thread-safe: per-thread scratch buffers are reused across calls (node
+  /// arenas grow in pooled chunks and are retained between runs), so the
+  /// search loop performs no steady-state heap allocation
+  /// (docs/ARCHITECTURE.md, "Search hot path").
   [[nodiscard]] SearchResult run(const std::vector<Task>& batch,
                                  const std::vector<SimDuration>& base_loads,
                                  SimTime delivery_time,

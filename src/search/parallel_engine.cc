@@ -11,187 +11,30 @@
 #include <vector>
 
 #include "common/error.h"
+#include "search/expand_core.h"
 #include "search/partial_schedule.h"
 
 namespace rtds::search {
 
 namespace {
 
-// ------------------------------------------------------------------------
-// Mirrors of the sequential engine's candidate machinery. These replicate
-// engine.cc's anonymous-namespace Candidate / sort_candidates / key rules
-// byte for byte; the parallel equivalence suite (bit-identical results over
-// fuzzed scenarios x all config combos) pins the two copies together, so
-// any drift between this file and engine.cc fails tests immediately.
-// ------------------------------------------------------------------------
+// The candidate machinery (Candidate, sort_candidates, make_candidate, the
+// expansion loop itself) is shared with the sequential engine through
+// search/expand_core.h — one copy, so the bit-identical-results contract
+// between the engines is structural. `expand_mirror` below is the local
+// name for it: shard workers call it with an effectively unlimited budget
+// and a scratch stats object (charge = budget consumed); the replay calls
+// it with the real remaining budget whenever the memo cache cannot answer.
+using detail::Candidate;
 
-struct Candidate {
-  Assignment assignment;
-  std::int64_t key1{0};
-  std::int64_t key2{0};
-  std::uint32_t key3{0};
-
-  bool operator<(const Candidate& o) const {
-    return std::tie(key1, key2, key3) < std::tie(o.key1, o.key2, o.key3);
-  }
-};
-
-void sort_candidates(std::vector<Candidate>& c) {
-  if (c.size() > 48) {
-    std::sort(c.begin(), c.end());
-    return;
-  }
-  for (std::size_t i = 1; i < c.size(); ++i) {
-    Candidate tmp = c[i];
-    std::size_t j = i;
-    for (; j > 0 && tmp < c[j - 1]; --j) c[j] = c[j - 1];
-    c[j] = tmp;
-  }
-}
-
-Candidate make_candidate(const SearchConfig& config,
-                         const PartialSchedule& ps,
-                         const std::vector<Task>& batch, const Assignment& a,
-                         std::uint32_t branch_index) {
-  Candidate c;
-  c.assignment = a;
-  if (config.use_load_balance_cost) {
-    c.key1 = max_duration(ps.max_ce(), a.end_offset).us;
-    c.key2 = a.end_offset.us;
-    c.key3 = branch_index;
-  } else if (config.representation == Representation::kAssignmentOriented) {
-    switch (config.processor_order) {
-      case ProcessorOrder::kIndexOrder:
-        c.key1 = a.worker;
-        break;
-      case ProcessorOrder::kMinEndOffset:
-        c.key1 = a.end_offset.us;
-        c.key2 = a.worker;
-        break;
-      case ProcessorOrder::kMinCommCost:
-        c.key1 = (a.exec_cost - batch[a.task_index].processing).us;
-        c.key2 = a.end_offset.us;
-        c.key3 = a.worker;
-        break;
-    }
-  } else {
-    c.key1 = branch_index;
-  }
-  return c;
-}
-
-/// One expansion of the vertex the schedule currently ends at — the exact
-/// budget-interleaved loop of SearchEngine::run's expand_current, charging
-/// `budget_left` / `stats` identically (including the bulk unplaceable
-/// charge, mid-loop budget death, max_successors caps, and the returned
-/// order cursor). Shard workers call it with an effectively unlimited
-/// budget and a scratch stats object (charge = budget consumed); the
-/// replay calls it with the real remaining budget whenever the memo cache
-/// cannot answer. Appends sorted candidates to `out`.
 std::uint32_t expand_mirror(const SearchConfig& config, PartialSchedule& ps,
                             const std::vector<Task>& batch, std::uint32_t m,
                             std::uint32_t cursor, std::uint64_t& budget_left,
                             SearchStats& stats, std::vector<Candidate>& out,
-                            std::vector<ProcessorId>& level_order) {
-  ++stats.expansions;
-  out.clear();
-  const auto n = static_cast<std::uint32_t>(batch.size());
-  const std::uint32_t depth = ps.depth();
-  if (config.max_depth != 0 && depth >= config.max_depth) {
-    return cursor;  // depth-pruned: no successors
-  }
-
-  if (config.representation == Representation::kAssignmentOriented) {
-    const SimDuration lo = ps.min_ce();
-    std::uint32_t scan = cursor;
-    while (scan < n) {
-      scan = ps.first_unassigned_at_or_after(scan);
-      if (scan == n) break;
-      const std::uint32_t task = ps.task_at(scan);
-      if (ps.task_unplaceable(task, lo)) {
-        const std::uint64_t charged = std::min<std::uint64_t>(m, budget_left);
-        budget_left -= charged;
-        stats.vertices_generated += charged;
-        if (charged < m) stats.budget_exhausted = true;
-      } else {
-        Assignment a;
-        for (std::uint32_t k = 0; k < m; ++k) {
-          if (budget_left == 0) {
-            stats.budget_exhausted = true;
-            break;
-          }
-          --budget_left;
-          ++stats.vertices_generated;
-          if (ps.evaluate_fast(task, k, a)) {
-            out.push_back(make_candidate(config, ps, batch, a, k));
-            if (config.max_successors != 0 &&
-                out.size() >= config.max_successors) {
-              break;
-            }
-          }
-        }
-      }
-      if (!out.empty() || stats.budget_exhausted ||
-          !config.skip_unplaceable_tasks) {
-        break;
-      }
-      ++scan;
-    }
-    cursor = scan;
-  } else {
-    level_order.resize(m);
-    for (std::uint32_t k = 0; k < m; ++k) {
-      level_order[k] = (depth + k) % m;
-    }
-    if (config.level_processor_order == LevelProcessorOrder::kLeastLoaded) {
-      for (std::uint32_t i = 1; i < m; ++i) {
-        const ProcessorId tmp = level_order[i];
-        std::uint32_t j = i;
-        for (; j > 0 && ps.ce(tmp) < ps.ce(level_order[j - 1]); --j) {
-          level_order[j] = level_order[j - 1];
-        }
-        level_order[j] = tmp;
-      }
-    }
-    const std::uint32_t max_rotations =
-        config.skip_saturated_processors ? m : 1;
-    const std::vector<std::uint64_t>& words = ps.unassigned_words();
-    for (std::uint32_t rot = 0; rot < max_rotations; ++rot) {
-      const ProcessorId worker = level_order[rot];
-      std::uint32_t branch = 0;
-      Assignment a;
-      bool stop = false;
-      for (std::size_t w = 0; w < words.size() && !stop; ++w) {
-        std::uint64_t bits = words[w];
-        while (bits != 0) {
-          const auto pos = static_cast<std::uint32_t>(
-              (w << 6) + std::uint32_t(std::countr_zero(bits)));
-          bits &= bits - 1;
-          const std::uint32_t i = ps.task_at(pos);
-          if (budget_left == 0) {
-            stats.budget_exhausted = true;
-            stop = true;
-            break;
-          }
-          --budget_left;
-          ++stats.vertices_generated;
-          if (ps.evaluate_fast(i, worker, a)) {
-            out.push_back(make_candidate(config, ps, batch, a, branch));
-            if (config.max_successors != 0 &&
-                out.size() >= config.max_successors) {
-              stop = true;
-              break;
-            }
-          }
-          ++branch;
-        }
-      }
-      if (!out.empty() || stats.budget_exhausted) break;
-    }
-  }
-
-  sort_candidates(out);
-  return cursor;
+                            std::vector<ProcessorId>& level_order,
+                            std::vector<std::uint32_t>& task_ids) {
+  return detail::expand_vertex(config, ps, batch, m, cursor, budget_left,
+                               stats, out, level_order, task_ids);
 }
 
 // ------------------------------------------------------------------------
@@ -222,8 +65,8 @@ struct PNode {
   std::int64_t key1{0};  ///< CL sort key recorded at creation
   std::int64_t key2{0};
   std::uint32_t key3{0};
-  std::uint16_t depth{0};
-  std::uint16_t order_cursor{0};
+  std::uint32_t depth{0};
+  std::uint32_t order_cursor{0};
   // -- expansion record (valid when expanded != 0) --
   std::uint64_t charge{0};       ///< unconstrained budget charge
   std::uint32_t child_count{0};
@@ -431,6 +274,7 @@ struct Shard {
   std::uint64_t current{kRootId};
   std::vector<Candidate> cands;
   std::vector<ProcessorId> level_order;
+  std::vector<std::uint32_t> task_ids;  // simd task-mask lane scratch
   std::vector<std::uint64_t> chain;
   std::int64_t claim_balance{0};
   std::uint64_t rng_state{1};
@@ -512,6 +356,7 @@ struct ParallelSearchEngine::Impl {
   std::uint64_t replay_current{kRootId};
   std::vector<Candidate> replay_cands;
   std::vector<ProcessorId> replay_level_order;
+  std::vector<std::uint32_t> replay_task_ids;
   std::vector<std::uint64_t> replay_chain;
 
   ParallelRunStats last_stats;
@@ -711,7 +556,7 @@ struct ParallelSearchEngine::Impl {
     SearchStats scratch;
     const std::uint32_t out_cursor =
         expand_mirror(config, *sh.ps, *batch, m, cursor_of(id), unlimited,
-                      scratch, sh.cands, sh.level_order);
+                      scratch, sh.cands, sh.level_order, sh.task_ids);
     const std::uint64_t charge = kUnlimited - unlimited;
     sh.spec_vertices += charge;
     ++sh.expansions;
@@ -721,7 +566,7 @@ struct ParallelSearchEngine::Impl {
     // replay reconstructs the sequential push sequence from).
     const std::uint64_t child_begin = sh.child_pool.size();
     const auto count = static_cast<std::uint32_t>(sh.cands.size());
-    const auto depth = static_cast<std::uint16_t>(sh.ps->depth() + 1);
+    const std::uint32_t depth = sh.ps->depth() + 1;
     const std::int64_t watermark =
         incumbent_k1.load(std::memory_order_relaxed);
     for (const Candidate& c : sh.cands) {
@@ -733,7 +578,7 @@ struct ParallelSearchEngine::Impl {
       nd->key2 = c.key2;
       nd->key3 = c.key3;
       nd->depth = depth;
-      nd->order_cursor = static_cast<std::uint16_t>(out_cursor);
+      nd->order_cursor = out_cursor;
       nd->charge = 0;
       nd->child_count = 0;
       nd->expanded = 0;
@@ -929,11 +774,11 @@ struct ParallelSearchEngine::Impl {
                             SearchStats& stats, std::uint64_t& seq) {
     const std::uint32_t out_cursor = expand_mirror(
         config, *replay_ps, *batch, m, cursor_of(id), budget_left, stats,
-        replay_cands, replay_level_order);
+        replay_cands, replay_level_order, replay_task_ids);
     ++last_stats.replay_fills;
 
     Shard& sh0 = *shards[0];
-    const auto depth = static_cast<std::uint16_t>(replay_ps->depth() + 1);
+    const std::uint32_t depth = replay_ps->depth() + 1;
     for (auto it = replay_cands.rbegin(); it != replay_cands.rend(); ++it) {
       const std::uint64_t cid = create_node(sh0);
       PNode* nd = resolve(cid);
@@ -943,7 +788,7 @@ struct ParallelSearchEngine::Impl {
       nd->key2 = it->key2;
       nd->key3 = it->key3;
       nd->depth = depth;
-      nd->order_cursor = static_cast<std::uint16_t>(out_cursor);
+      nd->order_cursor = out_cursor;
       nd->charge = 0;
       nd->child_count = 0;
       nd->expanded = 0;
@@ -1072,8 +917,8 @@ SearchResult ParallelSearchEngine::run(
 
   SearchResult result;
   if (batch.empty() || vertex_budget == 0) return result;
-  RTDS_REQUIRE(batch.size() <= 65535,
-               "ParallelSearchEngine: phase batch above 65535 tasks");
+  RTDS_REQUIRE(batch.size() <= kMaxBatchTasks,
+               "ParallelSearchEngine: phase batch above kMaxBatchTasks");
 
   // -- per-run setup ------------------------------------------------------
   im.batch = &batch;
@@ -1142,11 +987,28 @@ SearchResult ParallelSearchEngine::run(
   im.last_stats.rounds = 1;
   im.replay(base_loads, delivery_time, vertex_budget, result);
 
+  // Per-shard arenas pool their chunks across runs (steady-state
+  // allocation-free), but a capacity run can grow a shard to hundreds of
+  // MB — record the footprint for diagnostics, then trim the pool back.
+  constexpr std::uint64_t kShardRetainBytes = std::uint64_t{64} << 20;
+  constexpr std::uint64_t kChunkBytes =
+      std::uint64_t{kChunkSize} * sizeof(PNode);
   for (std::uint32_t i = 0; i < im.K; ++i) {
     Shard& sh = *im.shards[i];
     im.last_stats.speculative_vertices += sh.spec_vertices;
     im.last_stats.nodes_expanded += sh.expansions;
     im.last_stats.steals += sh.steals;
+    im.last_stats.arena_bytes +=
+        std::uint64_t{sh.allocated_chunks} * kChunkBytes +
+        sh.child_pool.capacity() * sizeof(std::uint64_t);
+    while (sh.allocated_chunks > 0 &&
+           std::uint64_t{sh.allocated_chunks} * kChunkBytes >
+               kShardRetainBytes) {
+      delete[] sh.chunks[--sh.allocated_chunks].load(
+          std::memory_order_relaxed);
+      sh.chunks[sh.allocated_chunks].store(nullptr,
+                                           std::memory_order_relaxed);
+    }
     sh.ps.reset();
   }
   im.batch = nullptr;

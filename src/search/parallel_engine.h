@@ -49,6 +49,9 @@ struct ParallelRunStats {
   /// not answer (vertex unexplored/pruned, or the budget-death vertex).
   /// 0 means the round covered the sequential prefix entirely.
   std::uint64_t replay_fills{0};
+  /// Bytes held by the shard node arenas and child pools at the end of the
+  /// run, before the chunk pool self-trims (the bench memory column).
+  std::uint64_t arena_bytes{0};
 };
 
 /// RNG substream for shard-local randomized tie handling (steal-victim

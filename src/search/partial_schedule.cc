@@ -22,27 +22,35 @@ PartialSchedule::PartialSchedule(const std::vector<Task>* batch,
   for (SimDuration d : base_loads_) {
     RTDS_REQUIRE(!d.is_negative(), "PartialSchedule: negative base load");
   }
-  ce_ = base_loads_;
-  max_ce_ = SimDuration::zero();
-  for (SimDuration d : ce_) max_ce_ = max_duration(max_ce_, d);
+  ce_us_.resize(base_loads_.size());
+  max_ce_us_ = 0;
+  for (std::size_t k = 0; k < base_loads_.size(); ++k) {
+    ce_us_[k] = base_loads_[k].us;
+    max_ce_us_ = std::max(max_ce_us_, ce_us_[k]);
+  }
 
   cut_through_ = net_->model() == machine::RoutingModel::kCutThrough;
   comm_us_ = net_->link_cost().us;
 
   const std::size_t n = batch_->size();
-  constants_.resize(n);
+  p_us_.resize(n);
+  es_us_.resize(n);
+  d_us_.resize(n);
+  aff_bits_.resize(n);
+  width_.resize(n);
+  has_gangs_ = false;
   for (std::size_t i = 0; i < n; ++i) {
     const Task& t = (*batch_)[i];
-    TaskConstants& tc = constants_[i];
-    tc.processing_us = t.processing.us;
-    tc.es_off_us = t.earliest_start > delivery_time_
-                       ? (t.earliest_start - delivery_time_).us
-                       : 0;
-    tc.d_off_us = (t.deadline - delivery_time_).us;
-    tc.affinity_bits = t.affinity.raw();
+    p_us_[i] = t.processing.us;
+    es_us_[i] = t.earliest_start > delivery_time_
+                    ? (t.earliest_start - delivery_time_).us
+                    : 0;
+    d_us_[i] = (t.deadline - delivery_time_).us;
+    aff_bits_[i] = t.affinity.raw();
     RTDS_REQUIRE(t.workers_required >= 1,
                  "PartialSchedule: workers_required must be >= 1");
-    tc.workers_required = t.workers_required;
+    width_[i] = t.workers_required;
+    has_gangs_ = has_gangs_ || t.workers_required > 1;
   }
 
   unassigned_.resize((n + 63) / 64);
@@ -91,10 +99,19 @@ std::uint32_t PartialSchedule::first_unassigned_at_or_after(
                                     std::uint32_t(std::countr_zero(bits)));
 }
 
-SimDuration PartialSchedule::min_ce() const {
-  SimDuration lo = ce_[0];
-  for (std::size_t k = 1; k < ce_.size(); ++k) lo = min_duration(lo, ce_[k]);
-  return lo;
+std::uint64_t PartialSchedule::feasible_tasks_mask(
+    ProcessorId worker, const std::uint32_t* tasks, std::uint32_t count) const {
+  RTDS_ASSERT(tasks_mask_eligible());
+#ifndef RTDS_DISABLE_ASSERTS
+  for (std::uint32_t j = 0; j < count; ++j) {
+    // evaluate_fast would REQUIRE on an empty affinity (no data holder);
+    // the mask path must not silently compute past that caller bug.
+    RTDS_ASSERT(aff_bits_[tasks[j]] != 0);
+  }
+#endif
+  return simd::feasible_tasks_mask(tasks, count, ce_us_[worker], worker,
+                                   p_us_.data(), es_us_.data(), d_us_.data(),
+                                   aff_bits_.data(), comm_us_);
 }
 
 std::optional<Assignment> PartialSchedule::evaluate(
@@ -111,46 +128,46 @@ std::optional<Assignment> PartialSchedule::evaluate(
 bool PartialSchedule::evaluate_fast(std::uint32_t task_index,
                                     ProcessorId worker,
                                     Assignment& out) const {
-  const TaskConstants& tc = constants_[task_index];
-
   std::int64_t comm_us;
-  if ((tc.affinity_bits >> worker) & 1u) {
+  if ((aff_bits_[task_index] >> worker) & 1u) {
     comm_us = 0;
   } else if (cut_through_) {
     // Same contract as Interconnect::comm_cost: a task with no data holder
     // anywhere is a caller bug.
-    RTDS_REQUIRE(tc.affinity_bits != 0, "comm_cost: task has no data holder");
+    RTDS_REQUIRE(aff_bits_[task_index] != 0,
+                 "comm_cost: task has no data holder");
     comm_us = comm_us_;
   } else {
     comm_us = net_->comm_cost((*batch_)[task_index].affinity, worker).us;
   }
 
-  const std::int64_t prev_ce_us = ce_[worker].us;
+  const std::int64_t prev_ce_us = ce_us_[worker];
   // A k-worker gang claims the contiguous block [worker, worker+k): it can
   // start only once EVERY block member's queue has drained, and a block
   // running past worker m-1 is no placement at all. k == 1 (the common
   // case) skips the block scan entirely.
   std::int64_t block_ce_us = prev_ce_us;
-  if (tc.workers_required > 1) {
-    if (std::size_t{worker} + tc.workers_required > ce_.size()) return false;
-    for (std::uint32_t j = 1; j < tc.workers_required; ++j) {
-      block_ce_us = std::max(block_ce_us, ce_[worker + j].us);
+  const std::uint32_t width = width_[task_index];
+  if (width > 1) {
+    if (std::size_t{worker} + width > ce_us_.size()) return false;
+    for (std::uint32_t j = 1; j < width; ++j) {
+      block_ce_us = std::max(block_ce_us, ce_us_[worker + j]);
     }
   }
   // Execution cannot start before the task's start-time constraint; the
   // worker idles until then (footnote 1 task model).
-  const std::int64_t start_us =
-      block_ce_us > tc.es_off_us ? block_ce_us : tc.es_off_us;
-  const std::int64_t end_us = start_us + tc.processing_us + comm_us;
+  const std::int64_t es_us = es_us_[task_index];
+  const std::int64_t start_us = block_ce_us > es_us ? block_ce_us : es_us;
+  const std::int64_t end_us = start_us + p_us_[task_index] + comm_us;
 
   // Fig. 4: t_c + RQ_s(j) + se_lk <= d_l, with t_c + RQ_s == delivery_time.
-  if (end_us > tc.d_off_us) return false;
+  if (end_us > d_us_[task_index]) return false;
 
   out.task_index = task_index;
   out.worker = worker;
-  out.exec_cost = SimDuration{tc.processing_us + comm_us};
+  out.exec_cost = SimDuration{p_us_[task_index] + comm_us};
   out.prev_ce = SimDuration{prev_ce_us};
-  out.prev_max_ce = max_ce_;
+  out.prev_max_ce = SimDuration{max_ce_us_};
   out.start_offset = SimDuration{start_us};
   out.end_offset = SimDuration{end_us};
   return true;
@@ -158,24 +175,22 @@ bool PartialSchedule::evaluate_fast(std::uint32_t task_index,
 
 void PartialSchedule::push(const Assignment& a) {
   RTDS_ASSERT(!assigned(a.task_index));
-  RTDS_ASSERT(std::size_t{a.worker} +
-                  constants_[a.task_index].workers_required <=
-              ce_.size());
+  RTDS_ASSERT(std::size_t{a.worker} + width_[a.task_index] <= ce_us_.size());
   // Integrity: the assignment must have been evaluated at this exact state.
-  RTDS_ASSERT(ce_[a.worker] == a.prev_ce);
-  RTDS_ASSERT(max_ce_ == a.prev_max_ce);
+  RTDS_ASSERT(ce_us_[a.worker] == a.prev_ce.us);
+  RTDS_ASSERT(max_ce_us_ == a.prev_max_ce.us);
   const std::uint32_t pos = pos_of(a.task_index);
   unassigned_[pos >> 6] &= ~(std::uint64_t{1} << (pos & 63));
   // A gang charges its whole worker block to the same end offset; the
   // siblings' pre-push offsets go on the side undo stack (the lead's is
   // Assignment::prev_ce).
-  const std::uint32_t k = constants_[a.task_index].workers_required;
+  const std::uint32_t k = width_[a.task_index];
   for (std::uint32_t j = 1; j < k; ++j) {
-    gang_undo_.push_back(ce_[a.worker + j]);
-    ce_[a.worker + j] = a.end_offset;
+    gang_undo_.push_back(SimDuration{ce_us_[a.worker + j]});
+    ce_us_[a.worker + j] = a.end_offset.us;
   }
-  ce_[a.worker] = a.end_offset;
-  max_ce_ = max_duration(max_ce_, a.end_offset);
+  ce_us_[a.worker] = a.end_offset.us;
+  max_ce_us_ = std::max(max_ce_us_, a.end_offset.us);
   path_.push_back(a);
 }
 
@@ -184,16 +199,26 @@ void PartialSchedule::pop() {
   const Assignment& a = path_.back();
   const std::uint32_t pos = pos_of(a.task_index);
   unassigned_[pos >> 6] |= std::uint64_t{1} << (pos & 63);
-  const std::uint32_t k = constants_[a.task_index].workers_required;
+  const std::uint32_t k = width_[a.task_index];
   for (std::uint32_t j = k; j-- > 1;) {
-    ce_[a.worker + j] = gang_undo_.back();
+    ce_us_[a.worker + j] = gang_undo_.back().us;
     gang_undo_.pop_back();
   }
-  ce_[a.worker] = a.prev_ce;
+  ce_us_[a.worker] = a.prev_ce.us;
   // LIFO discipline means the pre-push CE recorded on the assignment is
   // exactly the post-pop CE — no rescan needed.
-  max_ce_ = a.prev_max_ce;
+  max_ce_us_ = a.prev_max_ce.us;
   path_.pop_back();
+}
+
+std::size_t PartialSchedule::footprint_bytes() const {
+  const auto vec_bytes = [](const auto& v) {
+    return v.capacity() * sizeof(v[0]);
+  };
+  return vec_bytes(base_loads_) + vec_bytes(ce_us_) + vec_bytes(p_us_) +
+         vec_bytes(es_us_) + vec_bytes(d_us_) + vec_bytes(aff_bits_) +
+         vec_bytes(width_) + vec_bytes(unassigned_) +
+         vec_bytes(pos_of_task_) + vec_bytes(path_) + vec_bytes(gang_undo_);
 }
 
 }  // namespace rtds::search

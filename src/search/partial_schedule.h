@@ -19,14 +19,18 @@
 //
 // Hot-path layout (see docs/ARCHITECTURE.md "Search hot path"): the search
 // charges its entire vertex budget through evaluate/push/pop, so this class
-// keeps three flat arrays sized at construction and touches nothing else:
-//   * constants_ — per-task {p, earliest-start offset, deadline offset,
-//     affinity bits} in raw microseconds, so evaluation never dereferences
-//     the 56-byte Task or re-derives delivery-relative offsets;
-//   * ce_ — per-worker completion offsets (m contiguous 8-byte values);
+// keeps flat structure-of-arrays state sized at construction and touches
+// nothing else:
+//   * p_us_/es_us_/d_us_/aff_bits_/width_ — the per-task constants, one
+//     contiguous array per field in raw delivery-relative microseconds, so
+//     evaluation never dereferences the 56-byte Task and the search/simd.h
+//     kernels can gather lanes straight out of them;
+//   * ce_us_ — per-worker completion offsets (m contiguous 8-byte counts,
+//     the vector operand of the Fig. 4 worker-mask kernel);
 //   * unassigned_ — a 64-bit-word bitset over *consideration-order
 //     positions* (bit set = still unassigned), giving O(n/64) find-first
-//     scans instead of a std::vector<bool> walk.
+//     scans instead of a std::vector<bool> walk, and supplying the lane
+//     batches for the task-mask kernel.
 // Backtracking is O(1): every Assignment carries the undo values prev_ce and
 // prev_max_ce, so pop() restores both the worker's queue and CE without the
 // historical O(m) rescan.
@@ -38,6 +42,7 @@
 
 #include "common/time.h"
 #include "machine/interconnect.h"
+#include "search/simd.h"
 #include "tasks/task.h"
 
 namespace rtds::search {
@@ -66,8 +71,10 @@ struct Assignment {
 /// Mutable path state for depth-first search with backtracking.
 class PartialSchedule {
  public:
-  /// Per-task constants hoisted out of the evaluation loop, in raw
-  /// microseconds relative to the delivery time.
+  /// Per-task constants in raw microseconds relative to the delivery time.
+  /// Storage is one array per field (see header comment); this struct is the
+  /// assembled by-value view for cold-path callers (portfolio heuristics,
+  /// tests).
   struct TaskConstants {
     std::int64_t processing_us{0};  ///< p_l
     std::int64_t es_off_us{0};      ///< max(0, earliest_start - delivery)
@@ -127,15 +134,24 @@ class PartialSchedule {
   }
 
   /// Completion offset of worker k's queue (from delivery time).
-  [[nodiscard]] SimDuration ce(ProcessorId k) const { return ce_[k]; }
+  [[nodiscard]] SimDuration ce(ProcessorId k) const {
+    return SimDuration{ce_us_[k]};
+  }
+
+  /// The full per-worker completion-offset vector in raw microseconds —
+  /// the streaming operand of the simd worker-mask kernel.
+  [[nodiscard]] const std::int64_t* ce_data() const { return ce_us_.data(); }
 
   /// CE — the load-balancing cost of this partial schedule (Sec. 4.4):
   /// the maximum completion offset over all workers.
-  [[nodiscard]] SimDuration max_ce() const { return max_ce_; }
+  [[nodiscard]] SimDuration max_ce() const { return SimDuration{max_ce_us_}; }
 
   /// Minimum completion offset over all workers — the lower bound used by
-  /// the engine's bulk infeasibility test. O(m).
-  [[nodiscard]] SimDuration min_ce() const;
+  /// the engine's bulk infeasibility test. O(m/lanes) via simd::min_i64.
+  [[nodiscard]] SimDuration min_ce() const {
+    return SimDuration{simd::min_i64(
+        ce_us_.data(), static_cast<std::uint32_t>(ce_us_.size()))};
+  }
 
   /// Lower-bound infeasibility test over ALL workers at once: end offsets
   /// are >= max(min_ce, es_off) + p (communication cost is non-negative),
@@ -147,15 +163,71 @@ class PartialSchedule {
   /// leads (block past worker m) are infeasible by definition.
   [[nodiscard]] bool task_unplaceable(std::uint32_t task_index,
                                       SimDuration min_ce) const {
-    const TaskConstants& tc = constants_[task_index];
-    const std::int64_t start =
-        min_ce.us > tc.es_off_us ? min_ce.us : tc.es_off_us;
-    return start + tc.processing_us > tc.d_off_us;
+    const std::int64_t es = es_us_[task_index];
+    const std::int64_t start = min_ce.us > es ? min_ce.us : es;
+    return start + p_us_[task_index] > d_us_[task_index];
   }
 
-  [[nodiscard]] const TaskConstants& constants(std::uint32_t task_index) const {
-    return constants_[task_index];
+  /// Assembled per-task constants (by value — storage is SoA).
+  [[nodiscard]] TaskConstants constants(std::uint32_t task_index) const {
+    return TaskConstants{p_us_[task_index], es_us_[task_index],
+                         d_us_[task_index], aff_bits_[task_index],
+                         width_[task_index]};
   }
+
+  /// Direct SoA field reads for the hot loops.
+  [[nodiscard]] std::int64_t processing_us(std::uint32_t i) const {
+    return p_us_[i];
+  }
+  [[nodiscard]] std::int64_t d_off_us(std::uint32_t i) const {
+    return d_us_[i];
+  }
+  [[nodiscard]] std::uint32_t workers_required(std::uint32_t i) const {
+    return width_[i];
+  }
+  /// True when any task in the batch is a gang (width > 1).
+  [[nodiscard]] bool has_gangs() const { return has_gangs_; }
+
+  // -- simd batch evaluation (search/simd.h) ---------------------------------
+  // Both mask kernels compute EXACTLY the per-lane verdicts evaluate_fast
+  // would return, under preconditions the engine checks before taking the
+  // batched path; outside them it falls back to the scalar loop, so results
+  // stay bit-identical either way.
+
+  /// True when feasible_workers_mask(task) is exact for this task: constant
+  /// cut-through communication (no per-worker comm_cost calls), width 1 (no
+  /// block scan), and a non-empty affinity (evaluate_fast would REQUIRE on
+  /// an empty one — the mask path must not mask that bug).
+  [[nodiscard]] bool workers_mask_eligible(std::uint32_t task_index) const {
+    return cut_through_ && width_[task_index] == 1 &&
+           aff_bits_[task_index] != 0;
+  }
+
+  /// Bit k set iff evaluate_fast(task_index, k) would be feasible, for every
+  /// worker k at once. Preconditions: workers_mask_eligible(task_index).
+  [[nodiscard]] std::uint64_t feasible_workers_mask(
+      std::uint32_t task_index) const {
+    return simd::feasible_workers_mask(
+        ce_us_.data(), static_cast<std::uint32_t>(ce_us_.size()),
+        p_us_[task_index], es_us_[task_index], d_us_[task_index], comm_us_,
+        aff_bits_[task_index]);
+  }
+
+  /// True when feasible_tasks_mask is exact for this whole batch: constant
+  /// cut-through communication and no gangs anywhere (the per-word batches
+  /// come off the unassigned bitset, which doesn't know widths). Individual
+  /// tasks must additionally have non-empty affinities — guaranteed by the
+  /// workload layer and asserted in debug builds.
+  [[nodiscard]] bool tasks_mask_eligible() const {
+    return cut_through_ && !has_gangs_;
+  }
+
+  /// Bit j set iff evaluate_fast(tasks[j], worker) would be feasible.
+  /// `tasks` holds `count` <= 64 unassigned task ids. Preconditions:
+  /// tasks_mask_eligible().
+  [[nodiscard]] std::uint64_t feasible_tasks_mask(
+      ProcessorId worker, const std::uint32_t* tasks,
+      std::uint32_t count) const;
 
   /// Evaluates the candidate vertex (T_l -> P_k): computes cost and end
   /// offset, and applies the feasibility test of Fig. 4. Returns nullopt
@@ -184,6 +256,10 @@ class PartialSchedule {
   /// Assignments along the current path, in path order.
   [[nodiscard]] const std::vector<Assignment>& path() const { return path_; }
 
+  /// Bytes of heap state this schedule holds (SoA constants, bitset, path) —
+  /// for the bench memory column.
+  [[nodiscard]] std::size_t footprint_bytes() const;
+
  private:
   [[nodiscard]] std::uint32_t pos_of(std::uint32_t task_index) const {
     return pos_of_task_.empty() ? task_index : pos_of_task_[task_index];
@@ -194,9 +270,16 @@ class PartialSchedule {
   const machine::Interconnect* net_;
   SimTime delivery_time_;
   std::vector<SimDuration> base_loads_;
-  std::vector<SimDuration> ce_;
-  SimDuration max_ce_{SimDuration::zero()};
-  std::vector<TaskConstants> constants_;
+  /// Per-worker completion offsets in raw microseconds (SoA hot vector).
+  std::vector<std::int64_t> ce_us_;
+  std::int64_t max_ce_us_{0};
+  // Per-task constants, one contiguous array per field (SoA).
+  std::vector<std::int64_t> p_us_;
+  std::vector<std::int64_t> es_us_;
+  std::vector<std::int64_t> d_us_;
+  std::vector<std::uint64_t> aff_bits_;
+  std::vector<std::uint32_t> width_;
+  bool has_gangs_{false};
   bool cut_through_{true};
   std::int64_t comm_us_{0};  ///< constant C (cut-through model only)
   /// Bit (per consideration-order position) set while unassigned.

@@ -9,7 +9,7 @@
 namespace rtds::testing {
 namespace {
 
-constexpr char kTokenPrefix[] = "rtds4";
+constexpr char kTokenPrefix[] = "rtds5";
 constexpr std::uint64_t kWorkloadStream = stream_id("fuzz.workload");
 constexpr std::uint64_t kScenarioStream = stream_id("fuzz.scenario");
 
@@ -63,6 +63,8 @@ void visit_fields(S& s, F&& f) {
   f(s.release_period_us);
   f(s.num_releases);
   f(s.release_jitter_us);
+  // rtds5 addition: big-batch capacity dial.
+  f(s.big_batch);
 }
 
 /// Exhaustive kind labels for Scenario::to_string. Returning nullptr for an
@@ -363,7 +365,59 @@ Scenario generate_scenario(std::uint64_t base_seed, std::uint64_t index) {
     }
     s.num_releases = 1;
   }
+
+  // -- big-batch capacity slice ----------------------------------------------
+  // A thin slice (~0.4%) of the sweep pushes one burst of 65536..200000
+  // tasks through the wide-header search path, keeping the lifted task cap
+  // continuously enrolled in the oracles without dominating CI time. Drawn
+  // last so replaying any pre-capacity scenario shape is unaffected by the
+  // profile's redraws.
+  if (rng.bernoulli(0.004)) {
+    apply_big_batch_profile(s, rng);
+  }
   return s;
+}
+
+void apply_big_batch_profile(Scenario& s, Xoshiro256ss& rng) {
+  s.big_batch = 1;
+  // One closed burst at t=0: all tasks land in a single phase batch, the
+  // shape that forces the engine onto the wide node header.
+  s.num_tasks =
+      static_cast<std::uint32_t>(rng.uniform_int(65'536, 200'000));
+  s.arrival_kind = kArrivalBursty;
+  s.burst_size = s.num_tasks;
+  s.mean_interarrival_us = 50;
+  s.open_arrival = kOpenClosed;
+  s.num_shards = 1;
+  s.workers = static_cast<std::uint32_t>(rng.uniform_int(4, 12));
+  // Generous laxity: the batch must be schedulable, not a cull stampede —
+  // capacity bugs hide in the feasible path.
+  s.laxity_min_centi =
+      static_cast<std::uint32_t>(rng.uniform_int(500'000, 1'000'000));
+  s.laxity_max_centi = s.laxity_min_centi;
+  s.processing_min_us = 100;
+  s.processing_max_us = 500;
+  s.max_start_offset_us = 0;
+  s.reclaim = 0;
+  s.actual_fraction_min_permille = 1000;
+  s.actual_fraction_max_permille = 1000;
+  // A big quantum and cheap vertices give the search a budget deep enough
+  // to walk far past the 65535-depth line.
+  s.quantum_kind = 0;
+  s.max_quantum_us = 200'000;
+  s.vertex_cost_us = 2;
+  // Search family only (the capacity machinery under test), with a slice
+  // on the parallel engine's widened replay.
+  s.algo_spec = rng.bernoulli(0.3) ? "search?threads=2" : "rt_sads";
+  // DES only — the threaded backend replays wall-clock time and would
+  // dominate the slice; no faults, gangs, or releases (orthogonal dials).
+  s.run_threaded = 0;
+  s.parity_class = 0;
+  s.refusal_period = 0;
+  s.mailbox_capacity = 1024;
+  s.gang_permille = 0;
+  s.gang_max_workers = 2;
+  s.num_releases = 1;
 }
 
 std::string encode_token(const Scenario& scenario) {
@@ -479,7 +533,8 @@ std::string Scenario::to_string() const {
      << " attempts=" << max_delivery_attempts
      << " refuse_every=" << refusal_period << " mailbox=" << mailbox_capacity
      << (reclaim == 1 ? " reclaim" : "")
-     << (parity_class == 1 ? " parity" : "");
+     << (parity_class == 1 ? " parity" : "")
+     << (big_batch != 0 ? " big-batch" : "");
   if (gang_permille > 0) {
     os << " gang=" << gang_permille << "pm<=" << gang_max_workers << "w";
   }

@@ -132,6 +132,15 @@ struct Scenario {
   std::uint32_t num_releases{1};
   std::int64_t release_jitter_us{0};
 
+  // -- capacity (rtds5) ------------------------------------------------------
+  /// Big-batch capacity dial: 1 marks a scenario drawn from (or forced
+  /// into) the capacity profile — one closed burst of 65536..200000 tasks
+  /// through the wide-header search path (DES only, single shard, no
+  /// gangs/releases/faults, generous laxity so the batch is schedulable).
+  /// The flag itself is informational; the profile lives in the field
+  /// overrides apply_big_batch_profile() makes.
+  std::uint32_t big_batch{0};
+
   // -- harness shape ---------------------------------------------------------
   std::uint32_t run_threaded{1};
   /// Parity-eligible construction: bursty arrivals, laxity far beyond
@@ -161,7 +170,14 @@ std::vector<tasks::Task> make_stream_tasks(const Scenario& scenario);
 /// Draws scenario `index` of the sweep rooted at `base_seed`.
 Scenario generate_scenario(std::uint64_t base_seed, std::uint64_t index);
 
-/// One-line replay token ("rtds4.<fields>.c<checksum>"; integer fields are
+/// Reshapes `s` into the big-batch capacity profile (Scenario::big_batch):
+/// one closed burst of 65536..200000 single-width tasks, DES only, generous
+/// laxity, a large quantum, and a search-family algorithm — the fuzz-side
+/// regression for the lifted 65535-task cap. Used by the generator's
+/// capacity slice and by `rtds_fuzz --big-batch`; draws come from `rng`.
+void apply_big_batch_profile(Scenario& s, Xoshiro256ss& rng);
+
+/// One-line replay token ("rtds5.<fields>.c<checksum>"; integer fields are
 /// decimal, string fields are "x"-prefixed lowercase hex bytes).
 std::string encode_token(const Scenario& scenario);
 

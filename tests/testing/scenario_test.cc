@@ -34,17 +34,18 @@ TEST(ScenarioTest, DecodeRejectsTamperedToken) {
 
 TEST(ScenarioTest, DecodeRejectsWrongVersionAndGarbage) {
   std::string token = encode_token(Scenario{});
-  ASSERT_EQ(token.substr(0, 5), "rtds4");
-  // rtds1/rtds2/rtds3 tokens predate the algo_spec string field, the
-  // open-arrival fields and the task-model (gang / periodic-release) fields
-  // respectively: they must be rejected, never silently decoded into a
-  // differently-shaped scenario.
+  ASSERT_EQ(token.substr(0, 5), "rtds5");
+  // rtds1..rtds4 tokens predate the algo_spec string field, the
+  // open-arrival fields, the task-model (gang / periodic-release) fields
+  // and the big-batch capacity dial respectively: they must be rejected,
+  // never silently decoded into a differently-shaped scenario.
   EXPECT_FALSE(decode_token("rtds1" + token.substr(5)).has_value());
   EXPECT_FALSE(decode_token("rtds2" + token.substr(5)).has_value());
   EXPECT_FALSE(decode_token("rtds3" + token.substr(5)).has_value());
+  EXPECT_FALSE(decode_token("rtds4" + token.substr(5)).has_value());
   EXPECT_FALSE(decode_token("rtds9" + token.substr(5)).has_value());
   EXPECT_FALSE(decode_token("").has_value());
-  EXPECT_FALSE(decode_token("rtds4").has_value());
+  EXPECT_FALSE(decode_token("rtds5").has_value());
   EXPECT_FALSE(decode_token("not a token at all").has_value());
   // Truncated field list.
   EXPECT_FALSE(decode_token(token.substr(0, token.size() / 2)).has_value());
@@ -69,7 +70,9 @@ TEST(ScenarioTest, GeneratorKeepsScenariosValid) {
   for (std::uint64_t i = 0; i < 256; ++i) {
     const Scenario s = generate_scenario(0x5EED, i);
     EXPECT_GE(s.workers, 1u);
-    EXPECT_LE(s.workers, 8u);
+    // The big-batch capacity profile widens the machine to up to 12
+    // workers; every other scenario stays in the classic 1..8 band.
+    EXPECT_LE(s.workers, s.big_batch != 0 ? 12u : 8u);
     EXPECT_GE(s.num_shards, 1u);
     EXPECT_EQ(s.workers % s.num_shards, 0u)
         << "shards must divide workers (scenario " << i << ")";
@@ -98,6 +101,21 @@ TEST(ScenarioTest, GeneratorKeepsScenariosValid) {
       EXPECT_GT(s.release_period_us, 0);
       EXPECT_GE(s.release_jitter_us, 0);
       EXPECT_LE(s.release_jitter_us, s.release_period_us);
+    }
+    if (s.big_batch != 0) {
+      // Capacity scenarios: one closed single-shard burst past the old
+      // 65535-task cap, DES only, schedulable by construction.
+      EXPECT_GE(s.num_tasks, 65'536u);
+      EXPECT_LE(s.num_tasks, 200'000u);
+      EXPECT_EQ(s.open_arrival, kOpenClosed);
+      EXPECT_EQ(s.num_shards, 1u);
+      EXPECT_EQ(s.run_threaded, 0u);
+      EXPECT_EQ(s.parity_class, 0u);
+      EXPECT_EQ(s.gang_permille, 0u);
+      EXPECT_EQ(s.num_releases, 1u);
+      EXPECT_EQ(s.refusal_period, 0u);
+      EXPECT_EQ(s.burst_size, s.num_tasks);
+      EXPECT_GE(s.laxity_min_centi, 500'000u);
     }
     if (s.parity_class != 0) {
       EXPECT_EQ(s.num_releases, 1u);
@@ -169,6 +187,33 @@ TEST(ScenarioTest, DescribeLabelsEveryArrivalAndOpenKind) {
   releases.release_period_us = 7000;
   EXPECT_NE(releases.to_string().find("releases=3x7000us"),
             std::string::npos);
+}
+
+TEST(ScenarioTest, BigBatchProfileShapesAndRoundTrips) {
+  // The profile the generator's capacity slice and `rtds_fuzz --big-batch`
+  // share: deterministic in its rng, one closed wide-header burst, and the
+  // resulting scenario still serializes exactly.
+  Xoshiro256ss rng(0xB16B47C4ULL);
+  Xoshiro256ss rng_again(0xB16B47C4ULL);
+  Scenario s = generate_scenario(0xFEED, 0);
+  Scenario t = generate_scenario(0xFEED, 0);
+  apply_big_batch_profile(s, rng);
+  apply_big_batch_profile(t, rng_again);
+  EXPECT_EQ(s, t);
+  EXPECT_EQ(s.big_batch, 1u);
+  EXPECT_GE(s.num_tasks, 65'536u);
+  EXPECT_LE(s.num_tasks, 200'000u);
+  EXPECT_EQ(s.burst_size, s.num_tasks);
+  EXPECT_EQ(s.open_arrival, kOpenClosed);
+  EXPECT_EQ(s.num_shards, 1u);
+  EXPECT_EQ(s.run_threaded, 0u);
+  EXPECT_EQ(s.gang_permille, 0u);
+  EXPECT_TRUE(s.algo_spec == "rt_sads" || s.algo_spec == "search?threads=2")
+      << s.algo_spec;
+  EXPECT_NE(s.to_string().find(" big-batch"), std::string::npos);
+  const auto decoded = decode_token(encode_token(s));
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(*decoded, s);
 }
 
 TEST(ScenarioTest, GenerationIsDeterministic) {

@@ -2,7 +2,7 @@
 //
 //   rtds_fuzz [--scenarios N] [--seed S] [--no-threaded] [--time-scale X]
 //             [--shrink-budget N] [--artifact-dir DIR] [--algo SPEC]
-//             [--gang]
+//             [--gang] [--big-batch]
 //   rtds_fuzz --replay <token>
 //   rtds_fuzz --list-oracles
 //   rtds_fuzz --list-algos
@@ -12,7 +12,9 @@
 // --algo pins every scenario to one registry spec (sched/registry.h) so a
 // single portfolio member can be fuzzed in isolation. --gang forces every
 // scenario gang-heavy (all tasks gangs, >= 2 workers, single shard) so a
-// CI slice can hammer the multi-worker occupancy paths specifically.
+// CI slice can hammer the multi-worker occupancy paths specifically;
+// --big-batch forces every scenario into the capacity profile (one closed
+// burst of 65536..200000 tasks through the wide-header search path).
 // On the first oracle violation it shrinks the scenario to a minimal
 // still-failing repro, prints both replay tokens, optionally writes them to
 // <artifact-dir>/failing_tokens.txt (uploaded by CI), and exits 1.
@@ -42,6 +44,7 @@ struct Args {
   std::string artifact_dir;
   std::string algo_spec;  ///< empty = each scenario's own portfolio draw
   bool gang_heavy = false;
+  bool big_batch = false;
   bool list_oracles = false;
   bool list_algos = false;
   rtds::testing::HarnessOptions harness;
@@ -51,6 +54,7 @@ void usage(std::ostream& os) {
   os << "usage: rtds_fuzz [--scenarios N] [--seed S] [--no-threaded]\n"
         "                 [--time-scale X] [--shrink-budget N]\n"
         "                 [--artifact-dir DIR] [--algo SPEC] [--gang]\n"
+        "                 [--big-batch]\n"
         "       rtds_fuzz --replay <token>\n"
         "       rtds_fuzz --list-oracles\n"
         "       rtds_fuzz --list-algos\n";
@@ -95,6 +99,8 @@ bool parse_args(int argc, char** argv, Args& args) {
       args.algo_spec = v;
     } else if (a == "--gang") {
       args.gang_heavy = true;
+    } else if (a == "--big-batch") {
+      args.big_batch = true;
     } else if (a == "--list-oracles") {
       args.list_oracles = true;
     } else if (a == "--list-algos") {
@@ -211,6 +217,16 @@ int main(int argc, char** argv) {
           scenario.gang_max_workers > scenario.workers) {
         scenario.gang_max_workers = scenario.workers;
       }
+    }
+    if (args.big_batch) {
+      // Force the capacity profile AFTER generation, like --gang: the draw
+      // itself stays untouched so replay tokens decode normally. Profile
+      // randomness comes from a substream of the scenario's own seed, so a
+      // given (sweep seed, index) always yields the same big-batch shape.
+      rtds::Xoshiro256ss profile_rng(rtds::derive_seed(
+          scenario.seed, rtds::stream_id("fuzz.big_batch"), i));
+      rtds::testing::apply_big_batch_profile(scenario, profile_rng);
+      if (!pinned_spec.empty()) scenario.algo_spec = pinned_spec;
     }
     const rtds::testing::ScenarioResult result =
         rtds::testing::run_scenario(scenario, args.harness);
